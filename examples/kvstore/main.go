@@ -1,0 +1,130 @@
+// Kvstore is a small concurrent key-value store built on the HP-BRCU hash
+// map: the workload the paper's HashMap evaluation models (Figures 5b and
+// 7b).
+//
+// Run with:
+//
+//	go run ./examples/kvstore [-keys 65536] [-seconds 2] [-workers 8]
+//
+// Worker goroutines execute a read-intensive mix (90% lookups) while a
+// stats goroutine prints a live line each half second: throughput, live
+// keys, and reclamation state. The point to watch is the "unreclaimed"
+// column staying flat — the store can run forever without accumulating
+// garbage, even though every remove defers its node through two
+// reclamation steps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+var (
+	keys    = flag.Int64("keys", 65536, "key space size")
+	seconds = flag.Int("seconds", 2, "run time")
+	workers = flag.Int("workers", 8, "worker goroutines")
+)
+
+// store wraps the map with a tiny get/put/delete API, the shape an
+// application cache would use.
+type store struct {
+	m hpbrcu.Map
+}
+
+type session struct {
+	h hpbrcu.MapHandle
+}
+
+func (s *store) open() *session              { return &session{h: s.m.Register()} }
+func (c *session) close()                    { c.h.Barrier(); c.h.Unregister() }
+func (c *session) get(k int64) (int64, bool) { return c.h.Get(k) }
+func (c *session) put(k, v int64) {
+	if !c.h.Insert(k, v) {
+		// Present: replace by delete+insert (the map is insert-once).
+		c.h.Remove(k)
+		c.h.Insert(k, v)
+	}
+}
+func (c *session) del(k int64) { c.h.Remove(k) }
+
+func main() {
+	flag.Parse()
+	m, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, hpbrcu.DefaultBuckets(*keys), hpbrcu.Config{})
+	if err != nil {
+		panic(err)
+	}
+	st := &store{m: m}
+
+	// Warm the store to 50%.
+	{
+		s := st.open()
+		for k := int64(0); k < *keys; k += 2 {
+			s.put(k, k)
+		}
+		s.close()
+	}
+	m.Stats().Unreclaimed.ResetPeak()
+
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			s := st.open()
+			defer s.close()
+			x := uint64(seed)*2654435761 + 12345
+			n := int64(0)
+			for !stop.Load() {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				k := int64(x % uint64(*keys))
+				switch x % 10 {
+				case 0:
+					s.put(k, n)
+				case 1:
+					s.del(k)
+				default:
+					s.get(k)
+				}
+				n++
+				if n%1024 == 0 {
+					ops.Add(1024) // publish progress for the live stats line
+				}
+			}
+			ops.Add(n % 1024)
+		}(int64(w + 1))
+	}
+
+	deadline := time.Now().Add(time.Duration(*seconds) * time.Second)
+	fmt.Printf("%8s  %12s  %12s  %12s  %10s\n", "t", "ops", "retired", "unreclaimed", "peak")
+	start := time.Now()
+	var bound int64
+	for time.Now().Before(deadline) {
+		time.Sleep(500 * time.Millisecond)
+		// Capture the §5 bound while the workers are registered (it
+		// depends on the live thread count).
+		if b := hpbrcu.GarbageBound(m, (*workers+1)*10); b > bound {
+			bound = b
+		}
+		s := m.Stats().Snapshot()
+		fmt.Printf("%8s  %12d  %12d  %12d  %10d\n",
+			time.Since(start).Truncate(time.Millisecond),
+			ops.Load(), s.Retired, s.Unreclaimed, s.PeakUnreclaimed)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	s := m.Stats().Snapshot()
+	fmt.Printf("\n%.2f Mop/s over %v; peak unreclaimed %d blocks (§5 bound %d)\n",
+		float64(ops.Load())/elapsed.Seconds()/1e6, elapsed.Truncate(time.Millisecond),
+		s.PeakUnreclaimed, bound)
+}

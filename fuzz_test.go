@@ -1,0 +1,101 @@
+package hpbrcu_test
+
+// Native fuzz targets: each byte of input drives one operation against a
+// structure and a reference model. `go test` executes the seed corpus on
+// every run; `go test -fuzz=FuzzHMListModel` explores further. The
+// allocator's lifecycle panics turn reclamation-protocol violations into
+// crashes the fuzzer can minimize.
+
+import (
+	"testing"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0x00, 0x40, 0x80, 0x00, 0x40, 0x80})
+	f.Add([]byte{255, 254, 253, 1, 2, 3, 128, 129, 130})
+	big := make([]byte, 512)
+	for i := range big {
+		big[i] = byte(i*37 + 11)
+	}
+	f.Add(big)
+}
+
+// opByte decodes one fuzz byte: low 5 bits choose a key in [0,32), the
+// next 2 bits choose the operation.
+func runOpByte(h hpbrcu.MapHandle, model map[int64]int64, b byte) (ok bool, why string) {
+	k := int64(b & 31)
+	switch (b >> 5) & 3 {
+	case 0, 1:
+		_, in := model[k]
+		_, got := h.Get(k)
+		if got != in {
+			return false, "Get disagrees with model"
+		}
+	case 2:
+		_, in := model[k]
+		if h.Insert(k, k*7) == in {
+			return false, "Insert disagrees with model"
+		}
+		model[k] = k * 7
+	default:
+		want, in := model[k]
+		v, got := h.Remove(k)
+		if got != in || (got && v != want) {
+			return false, "Remove disagrees with model"
+		}
+		delete(model, k)
+	}
+	return true, ""
+}
+
+func fuzzAgainstModel(f *testing.F, mk func() (hpbrcu.Map, error)) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := mk()
+		if err != nil {
+			t.Skip(err)
+		}
+		h := m.Register()
+		defer h.Unregister()
+		model := map[int64]int64{}
+		for i, b := range data {
+			if ok, why := runOpByte(h, model, b); !ok {
+				t.Fatalf("op %d (byte %#x): %s", i, b, why)
+			}
+		}
+	})
+}
+
+func FuzzHMListModel(f *testing.F) {
+	fuzzAgainstModel(f, func() (hpbrcu.Map, error) {
+		return hpbrcu.NewHMList(hpbrcu.HPBRCU, hpbrcu.Config{BackupPeriod: 3, BatchSize: 4, ForceThreshold: 1})
+	})
+}
+
+func FuzzHListModel(f *testing.F) {
+	fuzzAgainstModel(f, func() (hpbrcu.Map, error) {
+		return hpbrcu.NewHList(hpbrcu.HPBRCU, hpbrcu.Config{BackupPeriod: 3, BatchSize: 4, ForceThreshold: 1})
+	})
+}
+
+func FuzzSkipListModel(f *testing.F) {
+	fuzzAgainstModel(f, func() (hpbrcu.Map, error) {
+		return hpbrcu.NewSkipList(hpbrcu.HPBRCU, hpbrcu.Config{BackupPeriod: 3, BatchSize: 4, ForceThreshold: 1})
+	})
+}
+
+func FuzzNMTreeModel(f *testing.F) {
+	fuzzAgainstModel(f, func() (hpbrcu.Map, error) {
+		return hpbrcu.NewNMTree(hpbrcu.HPBRCU, hpbrcu.Config{BatchSize: 4, ForceThreshold: 1})
+	})
+}
+
+func FuzzVBRModel(f *testing.F) {
+	fuzzAgainstModel(f, func() (hpbrcu.Map, error) {
+		return hpbrcu.NewHHSList(hpbrcu.VBR, hpbrcu.Config{})
+	})
+}

@@ -1,0 +1,3 @@
+module github.com/smrgo/hpbrcu
+
+go 1.22

@@ -1,0 +1,251 @@
+// Package alloc implements the simulated reclaiming allocator that stands in
+// for manual memory management (the paper's testbed uses jemalloc and real
+// free()). Go's garbage collector makes true use-after-free impossible, so
+// "reclaiming" a node here means: mark it Reclaimed, bump its ABA version,
+// and push its slot onto a freelist for reuse by subsequent allocations.
+//
+// This preserves everything the paper measures and proves about
+// reclamation:
+//
+//   - the retired-but-unreclaimed block count (the robustness metric in
+//     every memory figure) is exact;
+//   - reuse recreates the ABA hazard — a stale reference now resolves to a
+//     recycled node with a different version, so protocol violations become
+//     observable (Fig. 2's use-after-free reproduces as a poison/version
+//     check failure instead of memory corruption);
+//   - allocation cost is a pool hit, mirroring the paper's use of jemalloc
+//     to keep allocator contention out of the measurements.
+//
+// Nodes are addressed by slot index (see atomicx.Ref) rather than by raw
+// pointer so links can carry Harris/Natarajan-Mittal tag bits without
+// violating Go's pointer rules.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Node lifecycle states, stored in Header.state.
+const (
+	// StateFree marks a slot that is on a freelist (or never allocated).
+	StateFree uint32 = iota
+	// StateLive marks a node reachable (or about to be linked) in a
+	// structure.
+	StateLive
+	// StateRetired marks a node that has been unlinked and handed to a
+	// reclamation scheme, but whose reclamation is still deferred.
+	StateRetired
+)
+
+// Header is the per-node bookkeeping record the allocator keeps alongside
+// every node. Schemes use it for lifecycle assertions; VBR uses the version
+// as its birth epoch.
+type Header struct {
+	state atomic.Uint32
+	// version counts completed alloc/free cycles of this slot. It is
+	// bumped on Free, so a reference captured before a free can be
+	// detected as stale by comparing versions (the ABA/VBR check).
+	version atomic.Uint64
+}
+
+// State returns the node's current lifecycle state.
+func (h *Header) State() uint32 { return h.state.Load() }
+
+// Version returns the node's current ABA version.
+func (h *Header) Version() uint64 { return h.version.Load() }
+
+// Retire transitions the node Live -> Retired. It panics on a double
+// retire, which is always a scheme or data-structure bug.
+func (h *Header) Retire() {
+	if !h.state.CompareAndSwap(StateLive, StateRetired) {
+		panic(fmt.Sprintf("alloc: retire of node in state %d (double retire or retire-after-free)", h.state.Load()))
+	}
+}
+
+// TryRetire attempts the Live -> Retired transition and reports whether
+// this caller won it. Structures that unlink several nodes with one CAS
+// (e.g. chain removal in the Natarajan-Mittal tree) use it to give exactly
+// one unlinker ownership of each node's retirement.
+func (h *Header) TryRetire() bool {
+	return h.state.CompareAndSwap(StateLive, StateRetired)
+}
+
+// Freer releases slots back to their pool. It lets reclamation schemes hold
+// heterogeneous retired records without knowing node types.
+type Freer interface {
+	// FreeSlot returns the slot to the pool. The caller must guarantee the
+	// node is Retired and no longer protected by any thread.
+	FreeSlot(slot uint64)
+}
+
+const (
+	slabBits = 13 // 8192 entries per slab
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+	maxSlabs = 1 << 15 // up to ~268M nodes per pool
+)
+
+type entry[T any] struct {
+	hdr Header
+	val T
+}
+
+type slab[T any] struct {
+	entries [slabSize]entry[T]
+}
+
+// Pool is a grow-only slab allocator for nodes of type T with slot-indexed
+// addressing and freelist reuse. At/Hdr are safe to call concurrently with
+// Alloc and Free; slot 0 is reserved as the nil reference.
+type Pool[T any] struct {
+	slabs [maxSlabs]atomic.Pointer[slab[T]]
+
+	growMu   sync.Mutex
+	nextSlot uint64 // next never-used slot; guarded by growMu
+
+	freeMu   sync.Mutex
+	freeList []uint64 // guarded by freeMu
+
+	// Allocated counts Alloc calls; Freed counts FreeSlot calls; Live
+	// tracks the difference and its peak.
+	Allocated stats.Counter
+	Freed     stats.Counter
+	Live      stats.Gauge
+}
+
+// NewPool returns an empty pool.
+func NewPool[T any]() *Pool[T] {
+	p := &Pool[T]{nextSlot: 1} // reserve slot 0 as nil
+	return p
+}
+
+// cacheBatch is how many slots move between a Cache and the shared
+// freelist at a time.
+const cacheBatch = 64
+
+// Cache is a per-thread allocation cache. It is not safe for concurrent
+// use; each worker owns one.
+type Cache[T any] struct {
+	pool  *Pool[T]
+	slots []uint64
+}
+
+// NewCache returns a thread-local allocation cache for the pool.
+func (p *Pool[T]) NewCache() *Cache[T] {
+	return &Cache[T]{pool: p, slots: make([]uint64, 0, 2*cacheBatch)}
+}
+
+// At resolves a slot index to its node. It panics on the nil slot, which
+// always indicates a missing IsNil check in a traversal.
+func (p *Pool[T]) At(slot uint64) *T {
+	if slot == 0 {
+		panic("alloc: dereference of nil slot")
+	}
+	idx := slot - 1
+	return &p.slabs[idx>>slabBits].Load().entries[idx&slabMask].val
+}
+
+// Hdr resolves a slot index to its allocator header.
+func (p *Pool[T]) Hdr(slot uint64) *Header {
+	if slot == 0 {
+		panic("alloc: header of nil slot")
+	}
+	idx := slot - 1
+	return &p.slabs[idx>>slabBits].Load().entries[idx&slabMask].hdr
+}
+
+// Alloc returns a Live node, reusing a freed slot when one is available.
+// The node's fields hold whatever the previous occupant left; callers must
+// initialize every field before publishing the node.
+func (p *Pool[T]) Alloc(c *Cache[T]) (slot uint64, node *T) {
+	if len(c.slots) == 0 {
+		p.refill(c)
+	}
+	slot = c.slots[len(c.slots)-1]
+	c.slots = c.slots[:len(c.slots)-1]
+
+	h := p.Hdr(slot)
+	if !h.state.CompareAndSwap(StateFree, StateLive) {
+		panic(fmt.Sprintf("alloc: allocating slot %d in state %d", slot, h.state.Load()))
+	}
+	p.Allocated.Inc()
+	p.Live.Add(1)
+	return slot, p.At(slot)
+}
+
+// refill moves slots into the cache from the shared freelist, growing a
+// fresh slab when the freelist is empty.
+func (p *Pool[T]) refill(c *Cache[T]) {
+	p.freeMu.Lock()
+	if n := len(p.freeList); n > 0 {
+		take := cacheBatch
+		if take > n {
+			take = n
+		}
+		c.slots = append(c.slots, p.freeList[n-take:]...)
+		p.freeList = p.freeList[:n-take]
+		p.freeMu.Unlock()
+		return
+	}
+	p.freeMu.Unlock()
+
+	p.growMu.Lock()
+	start := p.nextSlot
+	// Carve fresh slots, materializing slabs as needed.
+	for i := 0; i < cacheBatch; i++ {
+		slot := start + uint64(i)
+		idx := slot - 1
+		si := idx >> slabBits
+		if si >= maxSlabs {
+			p.growMu.Unlock()
+			panic("alloc: pool exhausted (maxSlabs reached)")
+		}
+		if p.slabs[si].Load() == nil {
+			p.slabs[si].Store(new(slab[T]))
+		}
+		c.slots = append(c.slots, slot)
+	}
+	p.nextSlot = start + cacheBatch
+	p.growMu.Unlock()
+}
+
+// FreeSlot reclaims the slot: the node must be Retired. The node is
+// poisoned (state Free, version bumped) and becomes available for reuse.
+// FreeSlot implements Freer.
+func (p *Pool[T]) FreeSlot(slot uint64) {
+	h := p.Hdr(slot)
+	h.version.Add(1)
+	if !h.state.CompareAndSwap(StateRetired, StateFree) {
+		panic(fmt.Sprintf("alloc: free of slot %d in state %d (double free or free-without-retire)", slot, h.state.Load()))
+	}
+	p.Freed.Inc()
+	p.Live.Add(-1)
+
+	p.freeMu.Lock()
+	p.freeList = append(p.freeList, slot)
+	p.freeMu.Unlock()
+}
+
+// FreeLocal reclaims the slot into the thread-local cache, avoiding the
+// shared freelist lock on the hot path. Overflow drains to the pool.
+func (p *Pool[T]) FreeLocal(c *Cache[T], slot uint64) {
+	h := p.Hdr(slot)
+	h.version.Add(1)
+	if !h.state.CompareAndSwap(StateRetired, StateFree) {
+		panic(fmt.Sprintf("alloc: free of slot %d in state %d (double free or free-without-retire)", slot, h.state.Load()))
+	}
+	p.Freed.Inc()
+	p.Live.Add(-1)
+
+	if len(c.slots) >= cap(c.slots) {
+		p.freeMu.Lock()
+		p.freeList = append(p.freeList, c.slots[:cacheBatch]...)
+		p.freeMu.Unlock()
+		c.slots = append(c.slots[:0], c.slots[cacheBatch:]...)
+	}
+	c.slots = append(c.slots, slot)
+}

@@ -1,0 +1,176 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+)
+
+type testNode struct {
+	key  int64
+	next uint64
+}
+
+func TestAllocBasic(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+
+	slot, n := p.Alloc(c)
+	if slot == 0 {
+		t.Fatal("slot 0 must be reserved")
+	}
+	if p.At(slot) != n {
+		t.Fatal("At must resolve to the allocated node")
+	}
+	h := p.Hdr(slot)
+	if h.State() != StateLive {
+		t.Fatalf("fresh node state = %d, want Live", h.State())
+	}
+	n.key = 42
+	if p.At(slot).key != 42 {
+		t.Fatal("write through node pointer not visible via At")
+	}
+}
+
+func TestAllocReuseBumpsVersion(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+
+	slot, _ := p.Alloc(c)
+	v0 := p.Hdr(slot).Version()
+	p.Hdr(slot).Retire()
+	p.FreeSlot(slot)
+	if got := p.Hdr(slot).Version(); got != v0+1 {
+		t.Fatalf("version after free = %d, want %d", got, v0+1)
+	}
+
+	// Drain the cache so the freed slot (on the shared freelist) must be
+	// reused eventually.
+	seen := map[uint64]bool{}
+	for i := 0; i < 4*cacheBatch; i++ {
+		s, _ := p.Alloc(c)
+		seen[s] = true
+	}
+	if !seen[slot] {
+		t.Fatalf("freed slot %d was not reused within %d allocations", slot, 4*cacheBatch)
+	}
+}
+
+func TestAllocLifecyclePanics(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+	slot, _ := p.Alloc(c)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("free-without-retire", func() { p.FreeSlot(slot) })
+	p.Hdr(slot).Retire()
+	mustPanic("double retire", func() { p.Hdr(slot).Retire() })
+	p.FreeSlot(slot)
+	mustPanic("double free", func() { p.FreeSlot(slot) })
+	mustPanic("nil deref", func() { p.At(0) })
+	mustPanic("nil header", func() { p.Hdr(0) })
+}
+
+func TestAllocStats(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+	var slots []uint64
+	for i := 0; i < 100; i++ {
+		s, _ := p.Alloc(c)
+		slots = append(slots, s)
+	}
+	if p.Allocated.Load() != 100 || p.Live.Load() != 100 {
+		t.Fatalf("allocated=%d live=%d, want 100/100", p.Allocated.Load(), p.Live.Load())
+	}
+	for _, s := range slots[:40] {
+		p.Hdr(s).Retire()
+		p.FreeSlot(s)
+	}
+	if p.Freed.Load() != 40 || p.Live.Load() != 60 {
+		t.Fatalf("freed=%d live=%d, want 40/60", p.Freed.Load(), p.Live.Load())
+	}
+	if p.Live.Peak() != 100 {
+		t.Fatalf("live peak = %d, want 100", p.Live.Peak())
+	}
+}
+
+func TestAllocFreeLocal(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+	slot, _ := p.Alloc(c)
+	p.Hdr(slot).Retire()
+	p.FreeLocal(c, slot)
+	// Local free means the very next alloc reuses the slot.
+	s2, _ := p.Alloc(c)
+	if s2 != slot {
+		t.Fatalf("FreeLocal slot not reused first: got %d want %d", s2, slot)
+	}
+}
+
+func TestAllocConcurrent(t *testing.T) {
+	p := NewPool[testNode]()
+	const workers = 8
+	const perWorker = 5000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			c := p.NewCache()
+			var mine []uint64
+			for i := 0; i < perWorker; i++ {
+				s, n := p.Alloc(c)
+				n.key = id
+				mine = append(mine, s)
+				if i%3 == 0 && len(mine) > 1 {
+					// Free an old one.
+					victim := mine[0]
+					mine = mine[1:]
+					if p.At(victim).key != id {
+						t.Errorf("node %d stolen: key=%d want %d", victim, p.At(victim).key, id)
+						return
+					}
+					p.Hdr(victim).Retire()
+					p.FreeLocal(c, victim)
+				}
+			}
+			for _, s := range mine {
+				p.Hdr(s).Retire()
+				p.FreeLocal(c, s)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if p.Live.Load() != 0 {
+		t.Fatalf("leak: %d live nodes after teardown", p.Live.Load())
+	}
+	if p.Allocated.Load() != workers*perWorker {
+		t.Fatalf("allocated=%d want %d", p.Allocated.Load(), workers*perWorker)
+	}
+}
+
+func TestSlabGrowth(t *testing.T) {
+	p := NewPool[testNode]()
+	c := p.NewCache()
+	// Allocate across several slab boundaries and check addressing.
+	n := 3*slabSize + 17
+	keys := make(map[uint64]int64, n)
+	for i := 0; i < n; i++ {
+		s, node := p.Alloc(c)
+		node.key = int64(i)
+		keys[s] = int64(i)
+	}
+	for s, k := range keys {
+		if p.At(s).key != k {
+			t.Fatalf("slot %d: key %d want %d", s, p.At(s).key, k)
+		}
+	}
+}

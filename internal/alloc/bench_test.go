@@ -1,0 +1,56 @@
+package alloc
+
+import "testing"
+
+type benchNode struct {
+	key  int64
+	next uint64
+	pad  [5]uint64
+}
+
+// BenchmarkAblationSlotDeref measures the cost of the slot-indirection
+// design (DESIGN.md §5): resolving a packed slot index to a node is one
+// atomic slab-pointer load plus two index operations, versus a plain
+// pointer dereference.
+func BenchmarkAblationSlotDeref(b *testing.B) {
+	p := NewPool[benchNode]()
+	c := p.NewCache()
+	const n = 1 << 16
+	slots := make([]uint64, n)
+	for i := range slots {
+		s, nd := p.Alloc(c)
+		nd.key = int64(i)
+		slots[i] = s
+	}
+	b.Run("slot-indirect", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			sum += p.At(slots[i&(n-1)]).key
+		}
+		_ = sum
+	})
+	b.Run("raw-pointer", func(b *testing.B) {
+		ptrs := make([]*benchNode, n)
+		for i, s := range slots {
+			ptrs[i] = p.At(s)
+		}
+		var sum int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum += ptrs[i&(n-1)].key
+		}
+		_ = sum
+	})
+}
+
+// BenchmarkAllocFree measures the pooled allocation round trip.
+func BenchmarkAllocFree(b *testing.B) {
+	p := NewPool[benchNode]()
+	c := p.NewCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := p.Alloc(c)
+		p.Hdr(s).Retire()
+		p.FreeLocal(c, s)
+	}
+}

@@ -1,0 +1,8 @@
+package alloc
+
+// Retired is one node awaiting reclamation: the slot plus the pool that can
+// free it. Every scheme in this repository batches these records.
+type Retired struct {
+	Slot uint64
+	Pool Freer
+}

@@ -1,0 +1,14 @@
+package atomicx
+
+// CacheLineSize is the assumed size of a CPU cache line. 64 bytes is correct
+// for contemporary x86-64 and most AArch64 parts; over-padding is harmless.
+const CacheLineSize = 64
+
+// Pad occupies one cache line. Embed it between independently contended
+// fields to prevent false sharing, e.g. between a thread's local epoch word
+// (written by the owner on every critical section) and its deferred-task
+// counters (read by reclaimers).
+type Pad [CacheLineSize]byte
+
+// PadAfter pads a 8-byte hot word out to a full cache line.
+type PadAfter [CacheLineSize - 8]byte

@@ -1,0 +1,47 @@
+package atomicx
+
+// Rand is a small, allocation-free xorshift64* PRNG. Each benchmark worker
+// owns one so that key selection never contends on a shared source. It is
+// not safe for concurrent use; give each goroutine its own instance.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded from seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	r.state = seed
+}
+
+// Next returns the next 64 pseudo-random bits.
+func (r *Rand) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random integer in [0, n). n must be positive.
+func (r *Rand) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("atomicx: Intn with non-positive n")
+	}
+	return int64(r.Next() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}

@@ -1,0 +1,75 @@
+// Package atomicx provides the low-level atomic building blocks shared by
+// every reclamation scheme in this repository: packed tagged references,
+// cache-line padding, and a fast thread-local PRNG.
+//
+// Concurrent data structures in the SMR literature store a mark/flag/tag in
+// the low bits of a pointer so that a single CAS covers both the link and its
+// logical-deletion state (Harris 2001, Natarajan-Mittal 2014). Go's garbage
+// collector does not permit bit-tagged pointers, so links are represented as
+// a packed 64-bit word holding a *pool slot index* plus tag bits; the owning
+// alloc.Pool resolves slots to nodes. Slot indirection also gives the
+// allocator stable identities for ABA versioning and poison checks.
+package atomicx
+
+import "sync/atomic"
+
+// TagBits is the number of low-order tag bits carried by a Ref.
+//
+// Harris-style lists need one mark bit; the Natarajan-Mittal tree needs an
+// independent flag and tag bit per edge. Three bits cover every structure in
+// this repository while leaving 61 bits of slot space.
+const TagBits = 3
+
+// TagMask extracts the tag bits of a Ref.
+const TagMask = (1 << TagBits) - 1
+
+// Ref is a packed, taggable reference to a pool slot: the upper 61 bits hold
+// the slot index and the low TagBits hold structure-specific tag bits.
+// The zero Ref is the nil reference (pools never hand out slot 0).
+type Ref uint64
+
+// Nil is the null reference. Its slot is 0 and its tag is 0.
+const Nil Ref = 0
+
+// MakeRef packs a slot index and tag into a Ref.
+func MakeRef(slot uint64, tag uint8) Ref {
+	return Ref(slot<<TagBits | uint64(tag)&TagMask)
+}
+
+// Slot returns the pool slot index of r.
+func (r Ref) Slot() uint64 { return uint64(r) >> TagBits }
+
+// Tag returns the tag bits of r.
+func (r Ref) Tag() uint8 { return uint8(r) & TagMask }
+
+// WithTag returns r with its tag bits replaced by tag.
+func (r Ref) WithTag(tag uint8) Ref {
+	return Ref(uint64(r)&^uint64(TagMask) | uint64(tag)&TagMask)
+}
+
+// Untagged returns r with all tag bits cleared.
+func (r Ref) Untagged() Ref { return r &^ TagMask }
+
+// IsNil reports whether r refers to no node (ignoring tag bits).
+func (r Ref) IsNil() bool { return r.Untagged() == 0 }
+
+// AtomicRef is an atomically accessed Ref. All operations are sequentially
+// consistent, which subsumes the fence(SC) obligations of the paper's
+// pseudo-code (Algorithms 1 and 5).
+type AtomicRef struct {
+	v atomic.Uint64
+}
+
+// Load atomically reads the reference.
+func (a *AtomicRef) Load() Ref { return Ref(a.v.Load()) }
+
+// Store atomically writes the reference.
+func (a *AtomicRef) Store(r Ref) { a.v.Store(uint64(r)) }
+
+// CompareAndSwap atomically replaces old with new and reports success.
+func (a *AtomicRef) CompareAndSwap(old, new Ref) bool {
+	return a.v.CompareAndSwap(uint64(old), uint64(new))
+}
+
+// Swap atomically stores new and returns the previous value.
+func (a *AtomicRef) Swap(new Ref) Ref { return Ref(a.v.Swap(uint64(new))) }

@@ -1,0 +1,112 @@
+package atomicx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRefPackUnpack(t *testing.T) {
+	cases := []struct {
+		slot uint64
+		tag  uint8
+	}{
+		{0, 0}, {1, 0}, {1, 1}, {42, 7}, {1 << 40, 3}, {(1 << 61) - 1, 7},
+	}
+	for _, c := range cases {
+		r := MakeRef(c.slot, c.tag)
+		if r.Slot() != c.slot {
+			t.Errorf("MakeRef(%d,%d).Slot() = %d", c.slot, c.tag, r.Slot())
+		}
+		if r.Tag() != c.tag {
+			t.Errorf("MakeRef(%d,%d).Tag() = %d", c.slot, c.tag, r.Tag())
+		}
+	}
+}
+
+func TestRefPackUnpackProperty(t *testing.T) {
+	f := func(slot uint64, tag uint8) bool {
+		slot &= (1 << 61) - 1
+		tag &= TagMask
+		r := MakeRef(slot, tag)
+		return r.Slot() == slot && r.Tag() == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefWithTag(t *testing.T) {
+	r := MakeRef(99, 1)
+	r2 := r.WithTag(2)
+	if r2.Slot() != 99 || r2.Tag() != 2 {
+		t.Fatalf("WithTag: got slot %d tag %d", r2.Slot(), r2.Tag())
+	}
+	if r.Tag() != 1 {
+		t.Fatal("WithTag mutated receiver")
+	}
+	if u := r.Untagged(); u.Tag() != 0 || u.Slot() != 99 {
+		t.Fatalf("Untagged: %v", u)
+	}
+}
+
+func TestRefNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil must be nil")
+	}
+	if !MakeRef(0, 1).IsNil() {
+		t.Fatal("slot 0 with tag must still be nil (tag ignored)")
+	}
+	if MakeRef(1, 0).IsNil() {
+		t.Fatal("slot 1 must not be nil")
+	}
+}
+
+func TestAtomicRef(t *testing.T) {
+	var a AtomicRef
+	if !a.Load().IsNil() {
+		t.Fatal("zero AtomicRef must be nil")
+	}
+	r1 := MakeRef(5, 1)
+	r2 := MakeRef(6, 0)
+	a.Store(r1)
+	if a.Load() != r1 {
+		t.Fatal("store/load mismatch")
+	}
+	if a.CompareAndSwap(r2, r1) {
+		t.Fatal("CAS with wrong expected must fail")
+	}
+	if !a.CompareAndSwap(r1, r2) {
+		t.Fatal("CAS with right expected must succeed")
+	}
+	if got := a.Swap(r1); got != r2 {
+		t.Fatalf("Swap returned %v, want %v", got, r2)
+	}
+}
+
+func TestRandDeterministicAndNonZero(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	z := NewRand(0)
+	if z.Next() == 0 && z.Next() == 0 {
+		t.Fatal("zero seed must be remapped")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(123)
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 10000 draws", len(seen))
+	}
+}

@@ -1,0 +1,249 @@
+// Package bench is the workload harness that regenerates the paper's
+// evaluation (§6): mixed get/insert/remove workloads over every data
+// structure and scheme (Figures 5 and 7 and the appendix grids), and the
+// long-running-operation workload (Figures 1 and 6).
+//
+// Throughput is reported in operations per second and memory as the peak
+// number of retired-yet-unreclaimed blocks, exactly the paper's two
+// metrics. Absolute numbers are not comparable to the paper's testbeds
+// (this harness time-slices goroutines, typically on far fewer cores);
+// the relative shape — which scheme wins, where NBR collapses, whose
+// memory stays bounded — is what EXPERIMENTS.md tracks.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+)
+
+// Mix is an operation mix in percent; the remainder after Read is split
+// between inserts and removes.
+type Mix struct {
+	Name    string
+	ReadPct int
+	InsPct  int
+	RemPct  int
+}
+
+// The paper's four workloads (§6 Methodology).
+var (
+	ReadOnly      = Mix{"read-only", 100, 0, 0}
+	ReadIntensive = Mix{"read-intensive", 90, 5, 5}
+	ReadWrite     = Mix{"read-write", 50, 25, 25}
+	WriteOnly     = Mix{"write-only", 0, 50, 50}
+	Mixes         = []Mix{WriteOnly, ReadWrite, ReadIntensive, ReadOnly}
+)
+
+// Structure identifies a benchmark data structure.
+type Structure string
+
+const (
+	HList    Structure = "HList"
+	HMList   Structure = "HMList"
+	HHSList  Structure = "HHSList"
+	HashMap  Structure = "HashMap"
+	SkipList Structure = "SkipList"
+	NMTree   Structure = "NMTree"
+)
+
+// Structures lists the benchmark structures in the paper's order.
+var Structures = []Structure{HList, HMList, HHSList, HashMap, SkipList, NMTree}
+
+// NewMap builds a structure under a scheme; ok=false when the combination
+// is unsupported (Table 1).
+func NewMap(st Structure, s hpbrcu.Scheme, keyRange int64, cfg hpbrcu.Config) (hpbrcu.Map, bool) {
+	var m hpbrcu.Map
+	var err error
+	switch st {
+	case HList:
+		m, err = hpbrcu.NewHList(s, cfg)
+	case HMList:
+		m, err = hpbrcu.NewHMList(s, cfg)
+	case HHSList:
+		m, err = hpbrcu.NewHHSList(s, cfg)
+	case HashMap:
+		m, err = hpbrcu.NewHashMap(s, hpbrcu.DefaultBuckets(keyRange), cfg)
+	case SkipList:
+		m, err = hpbrcu.NewSkipList(s, cfg)
+	case NMTree:
+		m, err = hpbrcu.NewNMTree(s, cfg)
+	default:
+		panic("bench: unknown structure " + st)
+	}
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// Supported reports Table 1 applicability for the benchmark structures.
+func Supported(st Structure, s hpbrcu.Scheme) bool {
+	_, ok := NewMap(st, s, 16, hpbrcu.Config{})
+	return ok
+}
+
+// MixedConfig configures one mixed-workload measurement point.
+type MixedConfig struct {
+	Structure Structure
+	Scheme    hpbrcu.Scheme
+	Threads   int
+	KeyRange  int64
+	Mix       Mix
+	Duration  time.Duration
+	Prefill   float64 // fraction of the key range inserted up front (0.5)
+	Config    hpbrcu.Config
+	Seed      uint64
+}
+
+// Result is one measurement.
+type Result struct {
+	Ops             int64
+	Elapsed         time.Duration
+	PeakUnreclaimed int64
+	Unreclaimed     int64
+	Retired         int64
+	Signals         int64
+	Rollbacks       int64
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MTput returns millions of operations per second (the paper's axis).
+func (r Result) MTput() float64 { return r.Throughput() / 1e6 }
+
+// enableInterleaving turns on step-granularity yielding on single-CPU
+// hosts so that neutralization-based behaviour (the Figure 1/6 starvation
+// crossover) is observable despite coarse goroutine time slices. See
+// atomicx.YieldPeriod.
+func enableInterleaving() {
+	if runtime.GOMAXPROCS(0) == 1 && atomicx.YieldPeriod == 0 {
+		atomicx.YieldPeriod = 16
+	}
+}
+
+// Prefill inserts ~frac of the key range. Lists are filled in descending
+// key order (each insert lands right after the head sentinel: O(n) total);
+// trees, skip lists and hash maps are filled in a pseudo-random
+// permutation — a sorted order would degenerate the external BST into a
+// linear spine.
+func Prefill(m hpbrcu.Map, st Structure, keyRange int64, frac float64, seed uint64) {
+	h := m.Register()
+	defer h.Unregister()
+	rng := atomicx.NewRand(seed ^ 0xABCD)
+	switch st {
+	case HList, HMList, HHSList:
+		for k := keyRange - 1; k >= 0; k-- {
+			if rng.Float64() < frac {
+				h.Insert(k, k)
+			}
+		}
+	default:
+		// Weyl-sequence permutation of [0, keyRange): k = (a·i + b) mod R
+		// with a coprime to R.
+		a := int64(2654435761) % keyRange
+		if a <= 0 {
+			a = 1
+		}
+		for gcd(a, keyRange) != 1 {
+			a++
+		}
+		b := int64(seed % uint64(keyRange))
+		for i := int64(0); i < keyRange; i++ {
+			k := (a*i + b) % keyRange
+			if rng.Float64() < frac {
+				h.Insert(k, k)
+			}
+		}
+	}
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// RunMixed executes one mixed-workload measurement: prefill, then Threads
+// goroutines each drawing uniform keys and operations from the mix for
+// Duration.
+func RunMixed(cfg MixedConfig) Result {
+	if cfg.Prefill == 0 {
+		cfg.Prefill = 0.5
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	enableInterleaving()
+	m, ok := NewMap(cfg.Structure, cfg.Scheme, cfg.KeyRange, cfg.Config)
+	if !ok {
+		panic(fmt.Sprintf("bench: %s does not support %s", cfg.Structure, cfg.Scheme))
+	}
+	Prefill(m, cfg.Structure, cfg.KeyRange, cfg.Prefill, cfg.Seed)
+	m.Stats().Unreclaimed.ResetPeak()
+
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+	)
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			h := m.Register()
+			defer h.Unregister()
+			rng := atomicx.NewRand(cfg.Seed*1_000_003 + id)
+			<-start
+			ops := int64(0)
+			for !stop.Load() {
+				k := rng.Intn(cfg.KeyRange)
+				p := int(rng.Next() % 100)
+				switch {
+				case p < cfg.Mix.ReadPct:
+					h.Get(k)
+				case p < cfg.Mix.ReadPct+cfg.Mix.InsPct:
+					h.Insert(k, k)
+				default:
+					h.Remove(k)
+				}
+				ops++
+				if ops%64 == 0 {
+					runtime.Gosched() // single-core friendliness
+				}
+			}
+			total.Add(ops)
+		}(uint64(w))
+	}
+
+	t0 := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	s := m.Stats().Snapshot()
+	return Result{
+		Ops:             total.Load(),
+		Elapsed:         elapsed,
+		PeakUnreclaimed: s.PeakUnreclaimed,
+		Unreclaimed:     s.Unreclaimed,
+		Retired:         s.Retired,
+		Signals:         s.Signals,
+		Rollbacks:       s.Rollbacks,
+	}
+}

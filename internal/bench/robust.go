@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ds/hlist"
+	"github.com/smrgo/hpbrcu/internal/ds/hmlist"
+	"github.com/smrgo/hpbrcu/internal/stats"
+	"github.com/smrgo/hpbrcu/internal/vbr"
+)
+
+// StallResult is one row of the Table 2 robustness experiment: writers
+// churn a list for Duration while one thread is stalled inside whatever
+// the scheme's read-side protection is (a critical section, a read phase,
+// or a held shield).
+type StallResult struct {
+	Scheme          hpbrcu.Scheme
+	PeakUnreclaimed int64
+	Retired         int64
+	Bound           int64 // §5 bound for HP-BRCU, -1 when unbounded/N.A.
+	Signals         int64
+}
+
+// StallConfig configures the stalled-thread robustness experiment.
+type StallConfig struct {
+	Scheme   hpbrcu.Scheme
+	Writers  int
+	KeyRange int64
+	Duration time.Duration
+	Config   hpbrcu.Config
+}
+
+// RunStalled runs the experiment: the stalled thread enters the scheme's
+// read-side protection before the writers start and leaves only after
+// they stop — the worst case the paper's robustness criterion targets.
+func RunStalled(cfg StallConfig) StallResult {
+	if cfg.Writers == 0 {
+		cfg.Writers = 2
+	}
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 256
+	}
+
+	type churnHandle interface {
+		Insert(k, v int64) bool
+		Remove(k int64) (int64, bool)
+		Unregister()
+	}
+	var (
+		register func() churnHandle
+		stall    func() (unstall func())
+		rec      *stats.Reclamation
+		bound    int64 = -1
+	)
+
+	switch cfg.Scheme {
+	case hpbrcu.NR:
+		l := hlist.NewNR()
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() { return func() {} }
+		rec = l.Stats()
+	case hpbrcu.RCU:
+		l := hlist.NewEBR()
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() {
+			h := l.Domain().Register()
+			h.Pin()
+			return func() { h.Unpin(); h.Unregister() }
+		}
+		rec = l.Stats()
+	case hpbrcu.HP:
+		l := hmlist.NewHP()
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() {
+			h := l.Domain().Register()
+			s := h.NewShield()
+			s.ProtectSlot(1) // an arbitrary slot: HP's stall is a held shield
+			return func() { s.Clear(); h.Unregister() }
+		}
+		rec = l.Stats()
+	case hpbrcu.NBR, hpbrcu.NBRLarge:
+		var l *hlist.NBR
+		if cfg.Scheme == hpbrcu.NBRLarge {
+			l = hlist.NewNBRLarge()
+		} else {
+			l = hlist.NewNBR()
+		}
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() {
+			h := l.Domain().Register()
+			h.StartRead() // stalled in a read phase; neutralization handles it
+			return func() { h.Unregister() }
+		}
+		rec = l.Stats()
+	case hpbrcu.VBR:
+		l := vbr.New()
+		register = func() churnHandle { return l.Register() }
+		// VBR has no read-side protection to stall inside: a stalled
+		// reader holds nothing that blocks reclamation.
+		stall = func() func() { return func() {} }
+		rec = l.Stats()
+	case hpbrcu.HPRCU:
+		l := hlist.NewHPRCU(cfg.Config.CoreConfig())
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() {
+			h := l.Domain().Register()
+			h.Pin()
+			return func() { h.Unpin(); h.Unregister() }
+		}
+		rec = l.Stats()
+	case hpbrcu.HPBRCU:
+		l := hlist.NewHPBRCU(cfg.Config.CoreConfig())
+		register = func() churnHandle { return l.Register() }
+		stall = func() func() {
+			h := l.Domain().Register()
+			h.Pin()
+			return func() { h.Unpin(); h.Unregister() }
+		}
+		rec = l.Stats()
+		bound = l.Domain().GarbageBoundFor(cfg.Writers+1, (cfg.Writers+1)*9)
+	default:
+		panic("bench: unknown scheme in RunStalled")
+	}
+
+	unstall := stall()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := register()
+			defer h.Unregister()
+			rng := atomicx.NewRand(seed + 1)
+			for !stop.Load() {
+				k := rng.Intn(cfg.KeyRange)
+				h.Insert(k, k)
+				h.Remove(k)
+			}
+		}(uint64(w))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	unstall()
+
+	s := rec.Snapshot()
+	return StallResult{
+		Scheme:          cfg.Scheme,
+		PeakUnreclaimed: s.PeakUnreclaimed,
+		Retired:         s.Retired,
+		Bound:           bound,
+		Signals:         s.Signals,
+	}
+}

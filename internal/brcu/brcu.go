@@ -1,0 +1,439 @@
+// Package brcu implements Bounded RCU (Algorithm 5 of the paper) together
+// with abort-masking (Algorithm 6): an epoch-based RCU whose critical
+// sections are forcibly bounded. A reclaimer that fails to advance the
+// global epoch ForceThreshold times in a row neutralizes exactly the
+// lagging threads, forcing them to roll their critical sections back to the
+// beginning, and then advances the epoch anyway.
+//
+// # Signal substitution
+//
+// The paper delivers neutralization with POSIX signals (pthread_kill +
+// siglongjmp). Go's runtime owns signal handling, and a non-local jump
+// across a goroutine's stack is unsound under the garbage collector, so
+// this implementation substitutes *cooperative neutralization*:
+//
+//   - a thread's state lives in one packed status word {phase, epoch};
+//   - the reclaimer "sends a signal" by CASing the victim's status from
+//     InCs(e) to RbReq(e) — this is the delivery linearization point;
+//   - the victim observes RbReq at its next poll point (every traversal
+//     step and checkpoint in internal/core) and rolls back by ordinary
+//     control flow.
+//
+// The reclaimer never waits for an acknowledgement, so a stalled thread
+// cannot block reclamation — the paper's robustness property is preserved.
+// The window in which an already-neutralized victim is still running is
+// harmless: Go's GC keeps recycled nodes type-safe, and the framework
+// commits results and shared-memory writes only after a successful poll
+// (or inside an abort-masked region, whose entry and exit are themselves
+// CASes on the status word). See DESIGN.md §2 for the full argument, which
+// mirrors Theorem A.4's case analysis with the CAS taking the place of
+// signal delivery in Assumption 1.
+package brcu
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/registry"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Thread phases, stored in the low bits of the packed status word
+// (Algorithm 5 line 11 and Algorithm 6 line 2).
+const (
+	// phaseOut: outside any critical section.
+	phaseOut uint64 = iota
+	// phaseInCs: inside a critical section; may be neutralized.
+	phaseInCs
+	// phaseInRm: inside an abort-masked region; a neutralization request
+	// is deferred until the region exits.
+	phaseInRm
+	// phaseRbReq: neutralized; the thread must roll back at its next poll
+	// (or masked-region exit).
+	phaseRbReq
+)
+
+const phaseBits = 2
+
+func pack(phase, epoch uint64) uint64 { return epoch<<phaseBits | phase }
+func unpack(st uint64) (phase, epoch uint64) {
+	return st & (1<<phaseBits - 1), st >> phaseBits
+}
+
+// Defaults from the paper's evaluation (§6): HP-BRCU flushes (and tries to
+// advance the epoch) every 128 retires and forces the advance after two
+// successive failures.
+const (
+	DefaultMaxLocalTasks  = 128
+	DefaultForceThreshold = 2
+)
+
+type taggedBatch struct {
+	epoch uint64
+	tasks []alloc.Retired
+}
+
+// Domain is one BRCU domain (global epoch, task registry, participant
+// list — Algorithm 5 lines 4-7).
+type Domain struct {
+	epoch atomic.Uint64
+	_     atomicx.PadAfter
+
+	handles registry.Registry[Handle]
+	rec     *stats.Reclamation
+
+	maxLocalTasks  int
+	forceThreshold int
+
+	tasksMu sync.Mutex
+	tasks   []taggedBatch
+}
+
+// Option configures a Domain.
+type Option func(*Domain)
+
+// WithMaxLocalTasks sets the per-thread defer batch size (the paper's
+// MaxLocalTasks).
+func WithMaxLocalTasks(n int) Option {
+	return func(d *Domain) {
+		if n > 0 {
+			d.maxLocalTasks = n
+		}
+	}
+}
+
+// WithForceThreshold sets how many failed epoch advances a thread tolerates
+// before neutralizing the laggards (the paper's ForceThreshold).
+func WithForceThreshold(n int) Option {
+	return func(d *Domain) {
+		if n > 0 {
+			d.forceThreshold = n
+		}
+	}
+}
+
+// NewDomain creates a BRCU domain reporting into rec (nil allocates a
+// private one).
+func NewDomain(rec *stats.Reclamation, opts ...Option) *Domain {
+	if rec == nil {
+		rec = &stats.Reclamation{}
+	}
+	d := &Domain{rec: rec, maxLocalTasks: DefaultMaxLocalTasks, forceThreshold: DefaultForceThreshold}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Stats returns the domain's reclamation statistics.
+func (d *Domain) Stats() *stats.Reclamation { return d.rec }
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// GarbageBound returns the §5 bound on retired-but-unreclaimed nodes,
+// 2GN + GN² (+H shields, which the caller adds), for the current number of
+// registered threads.
+func (d *Domain) GarbageBound() int64 {
+	return d.GarbageBoundFor(d.handles.Len())
+}
+
+// GarbageBoundFor is GarbageBound for an explicit thread count (used when
+// the threads have not registered yet).
+func (d *Domain) GarbageBoundFor(threads int) int64 {
+	g := int64(d.maxLocalTasks * d.forceThreshold)
+	n := int64(threads)
+	return 2*g*n + g*n*n
+}
+
+// Handle is one thread's participation record (Algorithm 5 lines 8-13).
+// Not safe for concurrent use by multiple goroutines; the status word is
+// read and CASed by reclaimers.
+type Handle struct {
+	status atomic.Uint64 // packed {phase, epoch}
+	_      atomicx.PadAfter
+
+	d       *Domain
+	batch   []alloc.Retired
+	pushCnt int
+	exec    func(alloc.Retired)
+}
+
+// Register adds a thread to the domain with the default executor (free the
+// node and update statistics).
+func (d *Domain) Register() *Handle {
+	h := &Handle{d: d}
+	h.exec = func(r alloc.Retired) {
+		r.Pool.FreeSlot(r.Slot)
+		d.rec.Reclaimed.Inc()
+		d.rec.Unreclaimed.Add(-1)
+	}
+	d.handles.Add(h)
+	return h
+}
+
+// SetExecutor replaces the deferred-task executor (two-step retirement
+// installs the inner HP-Retire here, Algorithm 4).
+func (h *Handle) SetExecutor(exec func(alloc.Retired)) { h.exec = exec }
+
+// Unregister removes the thread, flushing pending deferred tasks first.
+func (h *Handle) Unregister() {
+	if ph, _ := unpack(h.status.Load()); ph == phaseInCs || ph == phaseInRm {
+		panic("brcu: unregister inside a critical section")
+	}
+	if len(h.batch) > 0 {
+		h.flush()
+	}
+	h.d.handles.Remove(h)
+}
+
+// Enter begins (or re-begins, after a rollback) a critical section: it
+// announces InCs with the current global epoch (Algorithm 5 line 16). Any
+// pending RbReq from a previous section is superseded.
+func (h *Handle) Enter() {
+	h.status.Store(pack(phaseInCs, h.d.epoch.Load()))
+}
+
+// Poll is the cooperative stand-in for signal delivery: it reports false
+// when a neutralization request is pending, in which case the caller must
+// roll back — discard everything derived since the last complete
+// checkpoint and either Exit or Enter again. Poll is the only operation on
+// the hot traversal path: a single atomic load.
+func (h *Handle) Poll() bool {
+	ph, _ := unpack(h.status.Load())
+	return ph != phaseRbReq
+}
+
+// Refresh re-announces the current global epoch without leaving the
+// critical section, provided no rollback is pending. It returns false if
+// the thread has been neutralized (the caller must roll back). HP-BRCU
+// calls this after each completed checkpoint so that a long traversal
+// never lags the epoch by more than one checkpoint interval.
+func (h *Handle) Refresh() bool {
+	st := h.status.Load()
+	ph, _ := unpack(st)
+	if ph == phaseRbReq {
+		return false
+	}
+	e := h.d.epoch.Load()
+	// CAS so a concurrent neutralization is never overwritten.
+	return h.status.CompareAndSwap(st, pack(phaseInCs, e))
+}
+
+// Exit ends the critical section (Algorithm 5 line 18). A pending RbReq is
+// discarded: per the framework contract the caller has already validated
+// its results with a successful Poll after its last protection, so
+// completing instead of rolling back is safe (see package comment).
+func (h *Handle) Exit() {
+	h.status.Store(pack(phaseOut, 0))
+}
+
+// RecordRollback counts one critical-section rollback.
+func (h *Handle) RecordRollback() { h.d.rec.Rollbacks.Inc() }
+
+// CriticalSection runs body as a boundable critical section (Algorithm 5
+// line 14). The body must poll via Poll and return false to roll back; it
+// is then re-run from the start with a fresh epoch, mirroring the paper's
+// siglongjmp to the checkpoint at line 15. The body must be
+// abort-rollback-safe (§4.1) apart from writes wrapped in Mask.
+func (h *Handle) CriticalSection(body func() bool) {
+	for {
+		h.Enter()
+		done := body()
+		h.Exit()
+		if done {
+			return
+		}
+		h.RecordRollback()
+	}
+}
+
+// Mask runs body as an abort-masked region (Algorithm 6): body must be
+// rollback-safe, and a neutralization arriving while it runs is deferred to
+// the region's end. The return values are:
+//
+//	ran          — whether body was executed;
+//	mustRollback — whether the caller must roll back now (before body when
+//	               ran is false, after it completed when ran is true).
+//
+// Entry is a CAS InCs→InRm so that a neutralization that already landed
+// prevents the masked writes; exit is a CAS InRm→InCs that loses exactly
+// when a neutralization landed mid-region (the paper's race between Mask
+// and SignalHandler, resolved the same way).
+func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
+	st := h.status.Load()
+	ph, e := unpack(st)
+	if ph != phaseInCs {
+		if ph == phaseRbReq {
+			return false, true
+		}
+		panic("brcu: Mask outside a critical section")
+	}
+	if !h.status.CompareAndSwap(st, pack(phaseInRm, e)) {
+		// Lost to a neutralizer: roll back before any masked write.
+		return false, true
+	}
+	body()
+	if !h.status.CompareAndSwap(pack(phaseInRm, e), pack(phaseInCs, e)) {
+		// Neutralized during the region: the writes stand (they are
+		// rollback-safe and complete); control rolls back now.
+		return true, true
+	}
+	return true, false
+}
+
+// Defer schedules a task for execution after all current critical sections
+// end (Algorithm 5 lines 22-34). Defer itself is rollback-unsafe and must
+// be called outside critical sections or inside a masked region.
+//
+// When the local batch fills, it is pushed to the global task set tagged
+// with the global epoch; the thread then tries to advance the epoch,
+// neutralizing lagging threads once its private failure budget
+// (ForceThreshold) is exhausted; finally it executes expired tasks.
+func (h *Handle) Defer(slot uint64, pool alloc.Freer) {
+	h.d.rec.Retired.Inc()
+	h.d.rec.Unreclaimed.Add(1)
+	h.DeferNoCount(slot, pool)
+}
+
+// DeferNoCount is Defer without the Retired/Unreclaimed accounting; the
+// two-step retirement of HP-BRCU counts a node once at the outer Retire
+// (internal/core) and uses this entry point for the inner defer.
+func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
+	// Defer is rollback-unsafe (§4.1): inside a critical section it may
+	// only run under an abort mask, where the rollback is deferred past
+	// it. Catch the misuse that would otherwise corrupt the task
+	// registry on a rollback.
+	if ph, _ := unpack(h.status.Load()); ph == phaseInCs {
+		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1)")
+	}
+	h.batch = append(h.batch, alloc.Retired{Slot: slot, Pool: pool})
+	if len(h.batch) < h.d.maxLocalTasks {
+		return
+	}
+	h.flushAndAdvance()
+}
+
+// flush moves the local batch to the global task set tagged with the
+// current global epoch (line 26).
+func (h *Handle) flush() {
+	d := h.d
+	e := d.epoch.Load()
+	tasks := make([]alloc.Retired, len(h.batch))
+	copy(tasks, h.batch)
+	h.batch = h.batch[:0]
+
+	d.tasksMu.Lock()
+	d.tasks = append(d.tasks, taggedBatch{epoch: e, tasks: tasks})
+	d.tasksMu.Unlock()
+}
+
+func (h *Handle) flushAndAdvance() {
+	d := h.d
+	eg := d.epoch.Load()
+	h.flush()
+	h.pushCnt++
+
+	// Our own critical section blocks the epoch like anyone else's. This
+	// matters when Defer runs inside an abort-masked region: advancing
+	// past our own lagging epoch would let our deferred tasks free nodes
+	// this very section still protects (e.g. the remainder of a marked
+	// run we are retiring), without any neutralization ever telling us to
+	// roll back. We never signal ourselves; we simply give up advancing
+	// until this section exits.
+	if ph, e := unpack(h.status.Load()); (ph == phaseInCs || ph == phaseInRm) && e < eg {
+		return
+	}
+
+	forced := false
+	for _, other := range d.handles.Snapshot() {
+		if other == h {
+			continue
+		}
+		ok, signalled := h.neutralizeIfLagging(other, eg)
+		if !ok {
+			// A laggard exists and the failure budget is not yet
+			// exhausted: give up advancing this time (line 31).
+			return
+		}
+		forced = forced || signalled
+	}
+
+	h.pushCnt = 0
+	if d.epoch.CompareAndSwap(eg, eg+1) {
+		d.rec.EpochAdvances.Inc()
+		if forced {
+			d.rec.ForcedAdvances.Inc()
+		}
+	}
+	h.executeExpired(eg)
+}
+
+// neutralizeIfLagging checks other against the epoch eg. It returns
+// ok=false when other is lagging but this thread's failure budget is below
+// ForceThreshold (the caller gives up advancing). Otherwise it neutralizes
+// other if needed and reports whether a signal was sent.
+func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bool) {
+	d := h.d
+	for {
+		st := other.status.Load()
+		ph, eo := unpack(st)
+		// Only live critical sections block the epoch; RbReq threads are
+		// already doomed and Out threads are absent (line 30).
+		if ph == phaseOut || ph == phaseRbReq || eo >= eg {
+			return true, false
+		}
+		if h.pushCnt < d.forceThreshold {
+			return false, false
+		}
+		// SendSignal (line 32): the CAS is the delivery point. InRm
+		// victims finish their masked region first (Algorithm 6).
+		if other.status.CompareAndSwap(st, pack(phaseRbReq, eo)) {
+			d.rec.Signals.Inc()
+			return true, true
+		}
+		// The victim moved (exited, refreshed, masked); re-evaluate.
+	}
+}
+
+// executeExpired runs every globally queued task tagged eg-1 or older
+// (line 34): all live critical sections are now at epoch ≥ eg, so they
+// began after those nodes were unlinked.
+func (h *Handle) executeExpired(eg uint64) {
+	if eg == 0 {
+		return
+	}
+	limit := eg - 1
+	d := h.d
+
+	d.tasksMu.Lock()
+	var run []taggedBatch
+	kept := d.tasks[:0] // in-place filter
+	for _, b := range d.tasks {
+		if b.epoch <= limit {
+			run = append(run, b)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	d.tasks = kept
+	d.tasksMu.Unlock()
+
+	for _, b := range run {
+		for _, r := range b.tasks {
+			h.exec(r)
+		}
+	}
+}
+
+// Barrier flushes this handle's pending tasks and forces epoch advances
+// until they have executed. Used by teardown paths and tests; concurrent
+// critical sections will be neutralized.
+func (h *Handle) Barrier() {
+	for i := 0; i < 4; i++ {
+		h.pushCnt = h.d.forceThreshold // force
+		h.flushAndAdvance()
+	}
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's primary contribution: HP-RCU (§3) and
+// HP-BRCU (§4), hazard pointers expedited with (bounded) RCU critical
+// sections.
+//
+// Both schemes compose the unmodified hazard-pointer implementation
+// (internal/hp) with an epoch-based RCU — plain RCU (internal/ebr) for
+// HP-RCU, bounded RCU (internal/brcu) for HP-BRCU — through exactly two
+// mechanisms:
+//
+//   - Two-step retirement (Algorithm 4): Retire(p) defers the inner
+//     HP-Retire(p) through the RCU, so a pointer acquired inside a critical
+//     section is safe to dereference and to protect without validation.
+//   - The Traverse engine (Algorithm 7): an expedited traversal that
+//     follows most links under coarse-grained RCU protection, periodically
+//     checkpointing the cursor into HP shields. HP-RCU alternates explicit
+//     bounded RCU phases (Algorithm 3); HP-BRCU stays in one critical
+//     section and relies on neutralization, using double-buffered
+//     protectors so a rollback in the middle of checkpointing always
+//     leaves one complete protected cursor to resume from (§4.3).
+package core
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/brcu"
+	"github.com/smrgo/hpbrcu/internal/ebr"
+	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Backend selects which RCU powers the coarse-grained phases.
+type Backend int
+
+const (
+	// BackendRCU yields HP-RCU (§3): robust against long-running
+	// operations but not stalled threads.
+	BackendRCU Backend = iota
+	// BackendBRCU yields HP-BRCU (§4): robust against both.
+	BackendBRCU
+)
+
+// DefaultBackupPeriod is the number of traversal steps between HP
+// checkpoints (Algorithm 7's BackupPeriod). It trades rollback re-work
+// against checkpoint cost; see BenchmarkAblationBackupPeriod.
+const DefaultBackupPeriod = 64
+
+// Config tunes a Domain.
+type Config struct {
+	// BackupPeriod is the checkpoint distance in traversal steps.
+	BackupPeriod int
+	// MaxLocalTasks and ForceThreshold configure the (B)RCU: the local
+	// defer batch size and, for BRCU, the failed-advance budget before
+	// neutralization. Zero selects the paper's defaults (128 and 2).
+	MaxLocalTasks  int
+	ForceThreshold int
+	// ScanThreshold is HP's retire batch size (default 128).
+	ScanThreshold int
+}
+
+// Domain owns one HP-(B)RCU instance: an HP domain plus an RCU or BRCU
+// domain, with shared statistics.
+type Domain struct {
+	backend      Backend
+	backupPeriod int
+	rec          *stats.Reclamation
+
+	HP   *hp.Domain
+	rcu  *ebr.Domain
+	brcu *brcu.Domain
+}
+
+// NewDomain creates a domain for the given backend. A zero Config selects
+// the paper's evaluation parameters.
+func NewDomain(backend Backend, cfg Config) *Domain {
+	rec := &stats.Reclamation{}
+	d := &Domain{
+		backend:      backend,
+		backupPeriod: cfg.BackupPeriod,
+		rec:          rec,
+		HP:           hp.NewDomain(rec, hp.WithScanThreshold(cfg.ScanThreshold)),
+	}
+	if d.backupPeriod <= 0 {
+		d.backupPeriod = DefaultBackupPeriod
+	}
+	switch backend {
+	case BackendRCU:
+		d.rcu = ebr.NewDomain(rec, ebr.WithBatchSize(cfg.MaxLocalTasks))
+	case BackendBRCU:
+		d.brcu = brcu.NewDomain(rec,
+			brcu.WithMaxLocalTasks(cfg.MaxLocalTasks),
+			brcu.WithForceThreshold(cfg.ForceThreshold))
+	default:
+		panic("core: unknown backend")
+	}
+	return d
+}
+
+// Stats returns the shared reclamation statistics.
+func (d *Domain) Stats() *stats.Reclamation { return d.rec }
+
+// Backend reports which RCU powers this domain.
+func (d *Domain) Backend() Backend { return d.backend }
+
+// GarbageBound returns the §5 bound 2GN + GN² + H on unreclaimed nodes for
+// a BRCU-backed domain with the given shield count H; it returns -1 for an
+// RCU-backed domain (HP-RCU is unbounded under stalled threads).
+func (d *Domain) GarbageBound(shields int) int64 {
+	if d.brcu == nil {
+		return -1
+	}
+	return d.brcu.GarbageBound() + int64(shields)
+}
+
+// GarbageBoundFor is GarbageBound for an explicit thread count.
+func (d *Domain) GarbageBoundFor(threads, shields int) int64 {
+	if d.brcu == nil {
+		return -1
+	}
+	return d.brcu.GarbageBoundFor(threads) + int64(shields)
+}
+
+// Handle is one thread's participation record across both halves of the
+// scheme. Not safe for concurrent use.
+type Handle struct {
+	d    *Domain
+	HP   *hp.Handle
+	rcu  *ebr.Handle
+	brcu *brcu.Handle
+}
+
+// Register adds a thread to the domain and wires the two-step retirement
+// executor: when the (B)RCU grace period of a deferred node elapses, the
+// node moves to this thread's HP retired batch (Algorithm 4).
+func (d *Domain) Register() *Handle {
+	h := &Handle{d: d, HP: d.HP.Register()}
+	exec := func(r alloc.Retired) {
+		h.HP.RetireNoCount(r.Slot, r.Pool)
+	}
+	switch d.backend {
+	case BackendRCU:
+		h.rcu = d.rcu.Register()
+		h.rcu.SetExecutor(exec)
+	case BackendBRCU:
+		h.brcu = d.brcu.Register()
+		h.brcu.SetExecutor(exec)
+	}
+	return h
+}
+
+// Unregister removes the thread from both domains.
+func (h *Handle) Unregister() {
+	if h.rcu != nil {
+		h.rcu.Unregister()
+	}
+	if h.brcu != nil {
+		h.brcu.Unregister()
+	}
+	h.HP.Unregister()
+}
+
+// NewShield creates an HP shield owned by this thread.
+func (h *Handle) NewShield() *hp.Shield { return h.HP.NewShield() }
+
+// Retire schedules a node for two-step reclamation (Algorithm 4): first an
+// RCU grace period, then hazard-pointer scanning. It must be called either
+// outside critical sections or inside a Mask region (Defer is
+// rollback-unsafe, §4.1).
+func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
+	h.d.rec.Retired.Inc()
+	h.d.rec.Unreclaimed.Add(1)
+	if h.brcu != nil {
+		h.brcu.DeferNoCount(slot, pool)
+	} else {
+		h.rcu.DeferNoCount(slot, pool)
+	}
+}
+
+// Mask runs body as an abort-masked region (§4.2). Under HP-BRCU this is
+// BRCU's Mask; under HP-RCU critical sections are never aborted, so body
+// simply runs. The caller must have HP-protected every node body uses with
+// shields that outlive the region, and body must be rollback-safe.
+func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
+	if h.brcu != nil {
+		return h.brcu.Mask(body)
+	}
+	body()
+	return true, false
+}
+
+// Barrier drains this thread's deferred nodes through both reclamation
+// steps. For teardown and tests; see the scheme packages for caveats.
+func (h *Handle) Barrier() {
+	if h.brcu != nil {
+		h.brcu.Barrier()
+	} else {
+		h.rcu.Barrier()
+	}
+	h.HP.Reclaim()
+}
+
+// Pin enters a bare critical section on the underlying (B)RCU — no
+// traversal, no checkpoints. It exists for the robustness experiments
+// (Table 2) and tests, which need a thread stalled inside a critical
+// section; pair with Unpin. Under BRCU the section can be neutralized,
+// after which Unpin simply clears the request.
+func (h *Handle) Pin() {
+	if h.brcu != nil {
+		h.brcu.Enter()
+		return
+	}
+	h.rcu.Pin()
+}
+
+// Unpin leaves a critical section entered with Pin.
+func (h *Handle) Unpin() {
+	if h.brcu != nil {
+		h.brcu.Exit()
+		return
+	}
+	h.rcu.Unpin()
+}

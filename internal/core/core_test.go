@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/hp"
+)
+
+type node struct {
+	key  int64
+	next atomicx.AtomicRef
+}
+
+// TestTwoStepRetirementTimeline replays Figure 4: T1 retires p while T2 is
+// inside a critical section holding a shield on p; p survives (1) until
+// the critical section ends and (2) until the shield clears, in that
+// order.
+func TestTwoStepRetirementTimeline(t *testing.T) {
+	for _, backend := range []Backend{BackendRCU, BackendBRCU} {
+		name := map[Backend]string{BackendRCU: "HP-RCU", BackendBRCU: "HP-BRCU"}[backend]
+		t.Run(name, func(t *testing.T) {
+			pool := alloc.NewPool[node]()
+			cache := pool.NewCache()
+			d := NewDomain(backend, Config{MaxLocalTasks: 1, ForceThreshold: 1 << 30, ScanThreshold: 1})
+			t1 := d.Register()
+			t2 := d.Register()
+			defer t1.Unregister()
+			defer t2.Unregister()
+
+			slot, _ := pool.Alloc(cache)
+
+			// T2 begins a critical section and protects p, without
+			// validation (safe inside a CS, §3.2).
+			t2.Pin()
+			s := t2.NewShield()
+			s.ProtectSlot(slot)
+
+			// T1 retires p (two-step).
+			pool.Hdr(slot).Retire()
+			t1.Retire(slot, pool)
+
+			// Step 1 pending: the critical section defers HP-Retire.
+			for i := 0; i < 4; i++ {
+				t1.HP.Reclaim() // HP alone cannot free it: not yet HP-retired
+			}
+			if pool.Hdr(slot).State() == alloc.StateFree {
+				t.Fatal("freed while the critical section was live")
+			}
+
+			// T2 exits; the grace period can now elapse, moving p to the
+			// HP stage — where the shield still blocks reclamation.
+			t2.Unpin()
+			t1.Barrier()
+			if pool.Hdr(slot).State() == alloc.StateFree {
+				t.Fatal("freed while a shield still protects it")
+			}
+
+			// Clearing the shield finally allows reclamation.
+			s.Clear()
+			t1.Barrier()
+			if pool.Hdr(slot).State() != alloc.StateFree {
+				t.Fatal("not freed after shield cleared and barrier")
+			}
+			if got := d.Stats().Snapshot(); got.Retired != 1 || got.Reclaimed != 1 || got.Unreclaimed != 0 {
+				t.Fatalf("stats = %+v", got)
+			}
+		})
+	}
+}
+
+// chain builds a singly linked chain of n nodes and returns the head slot
+// and all slots.
+func chain(pool *alloc.Pool[node], cache *alloc.Cache[node], n int) (uint64, []uint64) {
+	slots := make([]uint64, n)
+	var next atomicx.Ref
+	for i := n - 1; i >= 0; i-- {
+		s, nd := pool.Alloc(cache)
+		nd.key = int64(i)
+		nd.next.Store(next)
+		next = atomicx.MakeRef(s, 0)
+		slots[i] = s
+	}
+	return slots[0], slots
+}
+
+type chainCursor struct {
+	cur atomicx.Ref
+	pos int64
+}
+
+// TestTraverseEngine walks a chain with both backends, checking cursor
+// delivery, checkpoint cadence, and Fail propagation.
+func TestTraverseEngine(t *testing.T) {
+	for _, backend := range []Backend{BackendRCU, BackendBRCU} {
+		name := map[Backend]string{BackendRCU: "HP-RCU", BackendBRCU: "HP-BRCU"}[backend]
+		t.Run(name, func(t *testing.T) {
+			pool := alloc.NewPool[node]()
+			cache := pool.NewCache()
+			const n = 1000
+			head, slots := chain(pool, cache, n)
+
+			d := NewDomain(backend, Config{BackupPeriod: 16})
+			h := d.Register()
+			defer h.Unregister()
+
+			prot := &testProtector{s: h.NewShield()}
+			backup := &testProtector{s: h.NewShield()}
+
+			validations := 0
+			steps := 0
+			tr := Traversal[chainCursor, int64]{
+				Init: func() chainCursor {
+					return chainCursor{cur: atomicx.MakeRef(head, 0)}
+				},
+				Validate: func(c *chainCursor) bool { validations++; return true },
+				Step: func(c *chainCursor) (StepKind, int64) {
+					steps++
+					nd := pool.At(c.cur.Slot())
+					nx := nd.next.Load()
+					if nx.IsNil() {
+						return StepFinish, nd.key
+					}
+					c.cur = nx
+					c.pos++
+					return StepContinue, 0
+				},
+			}
+			c, last, ok := Traverse(h, prot, backup, tr)
+			if !ok {
+				t.Fatal("traverse failed")
+			}
+			if last != n-1 {
+				t.Fatalf("final key = %d, want %d", last, n-1)
+			}
+			if c.cur.Slot() != slots[n-1] {
+				t.Fatal("cursor does not point at the tail")
+			}
+			if prot.s.Get() != slots[n-1] {
+				t.Fatal("final cursor not protected in prot")
+			}
+			if steps < n-1 {
+				t.Fatalf("steps = %d, want >= %d", steps, n-1)
+			}
+
+			// Fail propagation.
+			trFail := tr
+			trFail.Step = func(c *chainCursor) (StepKind, int64) { return StepFail, 0 }
+			if _, _, ok := Traverse(h, prot, backup, trFail); ok {
+				t.Fatal("StepFail must make Traverse return not-ok")
+			}
+		})
+	}
+}
+
+type testProtector struct{ s *hp.Shield }
+
+func (p *testProtector) Protect(c *chainCursor) { p.s.ProtectSlot(c.cur.Slot()) }
+
+// TestTraverseValidateGate checks the checkpoint-postponement logic: a
+// cursor that never validates must still finish (checkpoints are skipped,
+// not fatal) under the RCU backend.
+func TestTraverseValidateGate(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	const n = 300
+	head, _ := chain(pool, cache, n)
+
+	d := NewDomain(BackendRCU, Config{BackupPeriod: 4})
+	h := d.Register()
+	defer h.Unregister()
+	prot := &testProtector{s: h.NewShield()}
+	backup := &testProtector{s: h.NewShield()}
+
+	tr := Traversal[chainCursor, int64]{
+		Init:     func() chainCursor { return chainCursor{cur: atomicx.MakeRef(head, 0)} },
+		Validate: func(c *chainCursor) bool { return false }, // never checkpointable
+		Step: func(c *chainCursor) (StepKind, int64) {
+			nd := pool.At(c.cur.Slot())
+			nx := nd.next.Load()
+			if nx.IsNil() {
+				return StepFinish, nd.key
+			}
+			c.cur = nx
+			return StepContinue, 0
+		},
+	}
+	_, last, ok := Traverse(h, prot, backup, tr)
+	if !ok || last != n-1 {
+		t.Fatalf("got (%d,%v), want (%d,true)", last, ok, n-1)
+	}
+}
+
+// TestMaskPassthroughRCU: under the RCU backend Mask simply runs the body.
+func TestMaskPassthroughRCU(t *testing.T) {
+	d := NewDomain(BackendRCU, Config{})
+	h := d.Register()
+	defer h.Unregister()
+	ran := false
+	gotRan, rb := h.Mask(func() { ran = true })
+	if !ran || !gotRan || rb {
+		t.Fatalf("Mask under RCU: ran=%v gotRan=%v rb=%v", ran, gotRan, rb)
+	}
+}
+
+// TestGarbageBoundAccessors checks the §5 bound plumbing.
+func TestGarbageBoundAccessors(t *testing.T) {
+	d := NewDomain(BackendBRCU, Config{MaxLocalTasks: 10, ForceThreshold: 3})
+	a := d.Register()
+	b := d.Register()
+	defer a.Unregister()
+	defer b.Unregister()
+	// G = 30, N = 2: 2GN + GN² = 120 + 120 = 240, +5 shields.
+	if got := d.GarbageBound(5); got != 245 {
+		t.Fatalf("bound = %d, want 245", got)
+	}
+	if got := NewDomain(BackendRCU, Config{}).GarbageBound(5); got != -1 {
+		t.Fatalf("RCU bound = %d, want -1", got)
+	}
+	if got := d.GarbageBoundFor(4, 0); got != 2*30*4+30*16 {
+		t.Fatalf("boundFor(4) = %d", got)
+	}
+}

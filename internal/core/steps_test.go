@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+)
+
+// TestPhasesWalkChain re-implements Algorithm 3's shape with the explicit
+// Phases API: InitCursor in one section, then bounded Steps sections until
+// the destination, checkpointing into a shield at every boundary.
+func TestPhasesWalkChain(t *testing.T) {
+	for _, backend := range []Backend{BackendRCU, BackendBRCU} {
+		name := map[Backend]string{BackendRCU: "HP-RCU", BackendBRCU: "HP-BRCU"}[backend]
+		t.Run(name, func(t *testing.T) {
+			pool := alloc.NewPool[node]()
+			cache := pool.NewCache()
+			const n = 500
+			head, slots := chain(pool, cache, n)
+
+			d := NewDomain(backend, Config{})
+			h := d.Register()
+			defer h.Unregister()
+			shield := h.NewShield()
+
+			p := h.BeginPhases()
+			var cur atomicx.Ref
+
+			// InitCursor (Algorithm 3 line 14).
+			st := p.Section(func() StepStatus {
+				cur = atomicx.MakeRef(head, 0)
+				shield.Protect(cur)
+				if !p.Poll() {
+					return PhaseAbort
+				}
+				return PhaseContinue
+			})
+			if st != PhaseContinue {
+				t.Fatalf("init status = %d", st)
+			}
+
+			// Steps (line 18): advance at most MaxSteps per section.
+			const maxSteps = 32
+			sections := 0
+			var lastKey int64
+			for {
+				st = p.Section(func() StepStatus {
+					for i := 0; i < maxSteps; i++ {
+						nd := pool.At(cur.Slot())
+						nx := nd.next.Load()
+						if nx.IsNil() {
+							lastKey = nd.key
+							shield.Protect(cur)
+							if !p.Poll() {
+								return PhaseAbort
+							}
+							return PhaseFinish
+						}
+						cur = nx
+					}
+					shield.Protect(cur) // checkpoint (line 32)
+					if !p.Poll() {
+						return PhaseAbort
+					}
+					return PhaseContinue
+				})
+				sections++
+				switch st {
+				case PhaseFinish:
+					goto done
+				case PhaseAbort, PhaseFail:
+					t.Fatalf("unexpected status %d in a quiescent run", st)
+				}
+			}
+		done:
+			if lastKey != n-1 {
+				t.Fatalf("final key = %d, want %d", lastKey, n-1)
+			}
+			if want := (n + maxSteps - 1) / maxSteps; sections < want {
+				t.Fatalf("sections = %d, want >= %d (bounded phases)", sections, want)
+			}
+			if shield.Get() != slots[n-1] {
+				t.Fatal("final cursor not protected")
+			}
+		})
+	}
+}
+
+// TestPhasesAbortReported: a neutralization landing inside a section must
+// surface as PhaseAbort under HP-BRCU.
+func TestPhasesAbortReported(t *testing.T) {
+	d := NewDomain(BackendBRCU, Config{MaxLocalTasks: 1, ForceThreshold: 1})
+	victim := d.Register()
+	reclaimer := d.Register()
+	defer victim.Unregister()
+	defer reclaimer.Unregister()
+
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+
+	p := victim.BeginPhases()
+	st := p.Section(func() StepStatus {
+		// Simulate heavy concurrent reclamation while this section runs:
+		// each Retire flushes (batch=1) and, with ForceThreshold=1,
+		// neutralizes the lagging victim.
+		for i := 0; i < 8; i++ {
+			s, _ := pool.Alloc(cache)
+			pool.Hdr(s).Retire()
+			reclaimer.Retire(s, pool)
+		}
+		if p.Poll() {
+			return PhaseContinue // not yet delivered; Section re-checks
+		}
+		return PhaseAbort
+	})
+	if st != PhaseAbort {
+		t.Fatalf("status = %d, want PhaseAbort", st)
+	}
+	if d.Stats().Rollbacks.Load() == 0 {
+		t.Fatal("rollback not recorded")
+	}
+	// The next section enters fresh and is live again.
+	st = p.Section(func() StepStatus { return PhaseContinue })
+	if st != PhaseContinue {
+		t.Fatalf("post-abort status = %d", st)
+	}
+}
+
+// TestPhasesAbortUnderRCUIsFailure: HP-RCU sections cannot abort; a body
+// claiming so is a misuse surfaced as PhaseFail.
+func TestPhasesAbortUnderRCUIsFailure(t *testing.T) {
+	d := NewDomain(BackendRCU, Config{})
+	h := d.Register()
+	defer h.Unregister()
+	p := h.BeginPhases()
+	if st := p.Section(func() StepStatus { return PhaseAbort }); st != PhaseFail {
+		t.Fatalf("status = %d, want PhaseFail", st)
+	}
+	if !p.Poll() {
+		t.Fatal("RCU phases always poll true")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import "github.com/smrgo/hpbrcu/internal/atomicx"
+
+// This file implements the Traverse API (Algorithm 7): the expedited
+// traversal engine with double-buffered checkpointing that both HP-RCU and
+// HP-BRCU expose to data structures.
+
+// StepKind is the outcome of one traversal step (Algorithm 7's StepResult).
+type StepKind int
+
+const (
+	// StepContinue: the cursor advanced; keep going.
+	StepContinue StepKind = iota
+	// StepFinish: the destination was reached; the cursor is final.
+	StepFinish
+	// StepFail: the operation cannot proceed from this cursor (e.g. a
+	// helping CAS failed, Algorithm 8 line 29). Traverse returns not-ok
+	// and the client retries from scratch.
+	StepFail
+	// StepAbort: a Mask region reported that a rollback is required
+	// (HP-BRCU only). Traverse rolls back to the last complete
+	// checkpoint.
+	StepAbort
+)
+
+// Protector publishes HP protection for every node of a cursor (the
+// paper's Protector trait). Implementations write each cursor pointer into
+// a dedicated shield; they must tolerate repeated calls.
+type Protector[C any] interface {
+	Protect(c *C)
+}
+
+// Traversal bundles the data-structure callbacks for Traverse (the
+// paper's init/step closures and the Validatable trait).
+type Traversal[C, R any] struct {
+	// Init creates the initial cursor from the structure's entry point.
+	// It runs inside a critical section and may run many times
+	// (abort-rollback-safe).
+	Init func() C
+	// Validate checks that the checkpointed cursor can still be resumed
+	// from — typically that its source node is not logically deleted
+	// (§3.3). It runs at the start of every resumed critical section.
+	Validate func(c *C) bool
+	// Step advances the cursor by one bounded unit of work. It runs
+	// inside a critical section; shared-memory writes must go through
+	// Handle.Mask and report StepAbort when the mask demands rollback.
+	Step func(c *C) (StepKind, R)
+}
+
+// Traverse performs an expedited traversal and returns the final cursor —
+// protected in prot — together with the step's Finish result.
+//
+// ok is false when the operation must be retried from scratch: either a
+// resumed cursor failed validation, or a step reported StepFail. Both are
+// rare in practice (§4.3).
+//
+// prot and backup are the double buffer (§4.3): at every moment at least
+// one of them holds a complete protected cursor, so HP-BRCU can resume
+// after a neutralization that lands in the middle of checkpointing. On a
+// successful return the final cursor's protection is (also) in prot.
+func Traverse[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool) {
+	if h.brcu != nil {
+		return traverseBRCU(h, prot, backup, t)
+	}
+	return traverseRCU(h, prot, backup, t)
+}
+
+// traverseBRCU is Algorithm 7: one (conceptual) critical section per
+// rollback, double-buffered checkpoints, per-step polling.
+func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool) {
+	var (
+		prots   = [2]Protector[C]{backup, prot}
+		curs    [2]C
+		compIdx = 0
+		haveCkp = false // does curs[compIdx%2] hold a complete checkpoint?
+		zeroC   C
+		zeroR   R
+		period  = h.d.backupPeriod
+	)
+
+	for {
+		h.brcu.Enter()
+
+		fresh := false
+		if !haveCkp {
+			// First critical section: build and protect the initial
+			// cursor (Algorithm 7 lines 11-12). The poll after
+			// protecting makes the checkpoint complete: if it
+			// succeeds, the protection was published while the
+			// section was live, so reclaimers must honour it.
+			c := t.Init()
+			prots[0].Protect(&c)
+			if !h.brcu.Poll() {
+				h.brcu.RecordRollback()
+				continue
+			}
+			curs[0] = c
+			compIdx = 0
+			haveCkp = true
+			fresh = true
+		}
+
+		// Resume from the last complete checkpoint. A cursor created in
+		// THIS critical section needs no validation (R2: pointers
+		// acquired inside the section are safe); validating it would be
+		// worse than wasteful — if the entry point's first node is
+		// logically deleted, rejecting the fresh cursor would prevent
+		// every traversal from ever reaching (and helping unlink) it,
+		// livelocking the structure. A checkpoint inherited from an
+		// earlier section must be revalidated (line 17, §3.3);
+		// validation failure aborts the whole operation.
+		c := curs[compIdx%2]
+		if !fresh && !t.Validate(&c) {
+			h.brcu.Exit()
+			return zeroC, zeroR, false
+		}
+
+		rolledBack := false
+		yc := 0
+		for i := 1; ; i++ {
+			atomicx.StepYield(&yc)
+			if !h.brcu.Poll() {
+				rolledBack = true
+				break
+			}
+			kind, r := t.Step(&c)
+			if kind == StepAbort {
+				rolledBack = true
+				break
+			}
+			if kind == StepFail {
+				h.brcu.Exit()
+				return zeroC, zeroR, false
+			}
+			if kind == StepFinish || i%period == 0 {
+				// A periodic checkpoint is only useful if the cursor
+				// would pass revalidation on resume (e.g. it is not
+				// sitting on a logically deleted node); otherwise
+				// postpone it to a later step. Without this gate a
+				// deterministic traversal can livelock: every retry
+				// re-checkpoints the same doomed cursor and fails
+				// validation again.
+				if kind != StepFinish && !t.Validate(&c) {
+					continue
+				}
+				// Checkpoint into the *other* buffer (lines 21-24):
+				// protect, then poll. Only a successful poll
+				// publishes the new complete index, so a rollback
+				// mid-checkpoint leaves the previous buffer intact.
+				next := (compIdx + 1) % 2
+				prots[next].Protect(&c)
+				if !h.brcu.Poll() {
+					rolledBack = true
+					break
+				}
+				curs[next] = c
+				compIdx++
+				if kind == StepFinish {
+					h.brcu.Exit()
+					// Make sure the final protection lives in prot: c
+					// is protected by prots[compIdx%2], so copying the
+					// protection outside the critical section is safe
+					// (the nodes cannot be reclaimed while that
+					// protector holds them). Skip the copy when the
+					// finishing buffer already is prot.
+					if prots[compIdx%2] != Protector[C](prot) {
+						prot.Protect(&c)
+					}
+					return c, r, true
+				}
+				// Catch up with the global epoch so this traversal
+				// stops blocking reclamation; failure means we were
+				// neutralized at the checkpoint boundary.
+				if !h.brcu.Refresh() {
+					rolledBack = true
+					break
+				}
+			}
+		}
+
+		_ = rolledBack
+		h.brcu.RecordRollback()
+		// Re-enter with a fresh epoch and resume from the last complete
+		// checkpoint (the paper's siglongjmp target, line 15).
+	}
+}
+
+// traverseRCU is the RCU-expedited traversal of §3 (Algorithm 3 lifted to
+// the Traverse shape): explicit alternation between bounded RCU phases and
+// HP checkpoints. There are no aborts, so a single protector suffices; the
+// backup buffer is unused.
+func traverseRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool) {
+	var (
+		zeroC  C
+		zeroR  R
+		period = h.d.backupPeriod
+	)
+	_ = backup
+
+	h.rcu.Pin()
+	c := t.Init()
+	prot.Protect(&c) // within the critical section: no validation needed (R2)
+
+	yc := 0
+	for i := 1; ; i++ {
+		atomicx.StepYield(&yc)
+		kind, r := t.Step(&c)
+		if kind == StepFail {
+			h.rcu.Unpin()
+			return zeroC, zeroR, false
+		}
+		if kind == StepFinish {
+			prot.Protect(&c)
+			h.rcu.Unpin()
+			return c, r, true
+		}
+		if i%period == 0 {
+			// End of this RCU phase (Algorithm 3's Steps boundary):
+			// checkpoint the cursor, re-enter a fresh critical
+			// section, and revalidate the source (§3.3, R1). If the
+			// cursor would not validate (e.g. it sits on a logically
+			// deleted node), postpone the phase switch — checkpointing
+			// it could only force a full restart, and in a quiescent
+			// run it would deterministically livelock.
+			if !t.Validate(&c) {
+				continue
+			}
+			prot.Protect(&c)
+			h.rcu.Repin()
+			if !t.Validate(&c) {
+				h.rcu.Unpin()
+				return zeroC, zeroR, false
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package hlist
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/ebr"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// EBR is a Harris list protected by epoch-based RCU (or nothing in NR
+// mode).
+type EBR struct {
+	List *lnode.List
+	dom  *ebr.Domain
+}
+
+// NewEBR creates a list reclaimed by epoch-based RCU.
+func NewEBR(opts ...ebr.Option) *EBR {
+	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, opts...)}
+}
+
+// NewNR creates the no-reclamation baseline.
+func NewNR() *EBR {
+	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+}
+
+// NewEBRFrom wraps an existing list core and domain (hash-map buckets
+// share one pool and one domain across all buckets).
+func NewEBRFrom(core *lnode.List, dom *ebr.Domain) *EBR {
+	return &EBR{List: core, dom: dom}
+}
+
+// Domain exposes the underlying reclamation domain.
+func (l *EBR) Domain() *ebr.Domain { return l.dom }
+
+// HandleFor builds a handle around an existing per-thread context; the
+// hash map uses it to rebind one thread context across buckets.
+func (l *EBR) HandleFor(h *ebr.Handle, cache *alloc.Cache[lnode.Node]) EBRHandle {
+	return EBRHandle{l: l, h: h, cache: cache}
+}
+
+// Stats exposes reclamation statistics.
+func (l *EBR) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// LenSlow and KeysSlow delegate to the core (tests only).
+func (l *EBR) LenSlow() int      { return l.List.LenSlow() }
+func (l *EBR) KeysSlow() []int64 { return l.List.KeysSlow() }
+
+// EBRHandle is one thread's accessor.
+type EBRHandle struct {
+	l     *EBR
+	h     *ebr.Handle
+	cache *alloc.Cache[lnode.Node]
+	run   runBuf
+}
+
+// Register creates a thread handle.
+func (l *EBR) Register() *EBRHandle {
+	return &EBRHandle{l: l, h: l.dom.Register(), cache: l.List.Pool.NewCache()}
+}
+
+// Unregister releases the handle.
+func (h *EBRHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains reclamation (teardown/tests).
+func (h *EBRHandle) Barrier() { h.h.Barrier() }
+
+// search is Harris's search: it returns an unmarked (prev, cur) bracketing
+// key, excising marked runs it encounters. Must run pinned.
+func (h *EBRHandle) search(key int64) (prev uint64, cur atomicx.Ref, found bool) {
+	l := h.l.List
+retry:
+	prev = l.Head
+	cur = l.Pool.At(prev).Next.Load() // head is never marked
+	yc := 0
+	for {
+		atomicx.StepYield(&yc)
+		if cur.IsNil() {
+			return prev, cur, false
+		}
+		next := l.At(cur).Next.Load()
+		if next.Tag() != 0 {
+			// cur starts a marked run: excise [cur, end) in one CAS —
+			// Harris's optimistic deletion.
+			end := runEnd(l, cur, &h.run)
+			if !l.Pool.At(prev).Next.CompareAndSwap(cur, end) {
+				goto retry
+			}
+			retireRun(l, &h.run, func(slot uint64) { h.h.Defer(slot, l.Pool) })
+			cur = end
+			continue
+		}
+		if k := l.At(cur).Key.Load(); k >= key {
+			return prev, cur, k == key
+		}
+		prev = cur.Slot()
+		cur = next
+	}
+}
+
+// Get returns the value mapped to key using the full Harris search (helps
+// with excision).
+func (h *EBRHandle) Get(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	_, cur, found := h.search(key)
+	if !found {
+		return 0, false
+	}
+	return h.l.List.At(cur).Val.Load(), true
+}
+
+// GetOptimistic is the HHSList wait-free-style contains: a pure read
+// traversal through marked nodes, no helping, mark checked at the end.
+func (h *EBRHandle) GetOptimistic(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	l := h.l.List
+	cur := l.Pool.At(l.Head).Next.Load().Untagged()
+	yc := 0
+	for !cur.IsNil() && l.At(cur).Key.Load() < key {
+		atomicx.StepYield(&yc)
+		cur = l.At(cur).Next.Load().Untagged()
+	}
+	if cur.IsNil() {
+		return 0, false
+	}
+	n := l.At(cur)
+	if n.Key.Load() != key || n.Next.Load().Tag() != 0 {
+		return 0, false
+	}
+	return n.Val.Load(), true
+}
+
+// Insert maps key to val; it fails if key is already present.
+func (h *EBRHandle) Insert(key, val int64) bool {
+	h.h.Pin()
+	defer h.h.Unpin()
+	l := h.l.List
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for {
+		prev, cur, found := h.search(key)
+		if found {
+			if newSlot != 0 {
+				l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		if newSlot == 0 {
+			newSlot, newRef = l.NewNode(h.cache, key, val, cur)
+		} else {
+			l.Pool.At(newSlot).Next.Store(cur)
+		}
+		if l.Pool.At(prev).Next.CompareAndSwap(cur, newRef) {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key: it marks the node (logical deletion) and then makes a
+// best-effort attempt to excise it; searches clean up failures.
+func (h *EBRHandle) Remove(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	l := h.l.List
+	for {
+		prev, cur, found := h.search(key)
+		if !found {
+			return 0, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			continue
+		}
+		val := curN.Val.Load()
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			continue
+		}
+		if l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Defer(cur.Slot(), l.Pool)
+		}
+		return val, true
+	}
+}

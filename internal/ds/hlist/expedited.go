@@ -1,0 +1,286 @@
+package hlist
+
+import (
+	"runtime"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Expedited is a Harris list protected by HP-RCU or HP-BRCU. This is the
+// combination plain HP cannot express (Figure 2): traversal follows links
+// out of marked — possibly retired — nodes, protected coarsely by the
+// critical section, with run excision in an abort-masked region.
+type Expedited struct {
+	List *lnode.List
+	dom  *core.Domain
+}
+
+// NewHPRCU creates a list protected by HP-RCU (§3).
+func NewHPRCU(cfg core.Config) *Expedited {
+	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendRCU, cfg)}
+}
+
+// NewHPBRCU creates a list protected by HP-BRCU (§4).
+func NewHPBRCU(cfg core.Config) *Expedited {
+	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendBRCU, cfg)}
+}
+
+// NewExpeditedFrom wraps an existing list core and domain (shared buckets).
+func NewExpeditedFrom(lst *lnode.List, dom *core.Domain) *Expedited {
+	return &Expedited{List: lst, dom: dom}
+}
+
+// Rebind points the handle at another list sharing the same domain and
+// pool (bucket switching); the shields and caches are reused.
+func (h *ExpeditedHandle) Rebind(l *Expedited) { h.l = l }
+
+// Stats exposes reclamation statistics.
+func (l *Expedited) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// Domain exposes the underlying HP-(B)RCU domain.
+func (l *Expedited) Domain() *core.Domain { return l.dom }
+
+// LenSlow and KeysSlow delegate to the core (tests only).
+func (l *Expedited) LenSlow() int      { return l.List.LenSlow() }
+func (l *Expedited) KeysSlow() []int64 { return l.List.KeysSlow() }
+
+// cursor is the search cursor: predecessor slot + current reference.
+type cursor struct {
+	prev uint64
+	cur  atomicx.Ref
+}
+
+type protector struct{ prevS, curS *hp.Shield }
+
+func newProtector(h *core.Handle) *protector {
+	return &protector{prevS: h.NewShield(), curS: h.NewShield()}
+}
+
+func (p *protector) Protect(c *cursor) {
+	p.prevS.ProtectSlot(c.prev)
+	p.curS.Protect(c.cur)
+}
+
+// getCursor is the read-only optimistic traversal cursor (HHS get).
+type getCursor struct{ cur atomicx.Ref }
+
+type getProtector struct{ curS *hp.Shield }
+
+func (p *getProtector) Protect(c *getCursor) { p.curS.Protect(c.cur) }
+
+// ExpeditedHandle is one thread's accessor.
+type ExpeditedHandle struct {
+	l     *Expedited
+	h     *core.Handle
+	cache *alloc.Cache[lnode.Node]
+
+	prot, backup       *protector
+	getProt, getBackup *getProtector
+	maskPrevS          *hp.Shield
+	maskRunS           *hp.Shield
+	maskEndS           *hp.Shield
+	run                runBuf
+}
+
+// Register creates a thread handle.
+func (l *Expedited) Register() *ExpeditedHandle {
+	h := l.dom.Register()
+	return &ExpeditedHandle{
+		l: l, h: h, cache: l.List.Pool.NewCache(),
+		prot:      newProtector(h),
+		backup:    newProtector(h),
+		getProt:   &getProtector{curS: h.NewShield()},
+		getBackup: &getProtector{curS: h.NewShield()},
+		maskPrevS: h.NewShield(),
+		maskRunS:  h.NewShield(),
+		maskEndS:  h.NewShield(),
+	}
+}
+
+// Unregister releases the handle.
+func (h *ExpeditedHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains reclamation (teardown/tests).
+func (h *ExpeditedHandle) Barrier() { h.h.Barrier() }
+
+// search runs the expedited Harris search. Marked runs are excised inside
+// an abort-masked region; the excision operands — predecessor, run head,
+// and excision target — are protected by outliving shields beforehand so
+// the masked CAS can never act on recycled slots (the ABA guard the paper
+// notes in footnote 6).
+func (h *ExpeditedHandle) search(key int64) (cursor, bool, bool) {
+	l := h.l.List
+	t := core.Traversal[cursor, bool]{
+		Init: func() cursor {
+			return cursor{prev: l.Head, cur: l.Pool.At(l.Head).Next.Load()}
+		},
+		Validate: func(c *cursor) bool {
+			if c.cur.IsNil() {
+				return l.Pool.At(c.prev).Next.Load().Tag() == 0
+			}
+			return l.At(c.cur).Next.Load().Tag() == 0
+		},
+		Step: func(c *cursor) (core.StepKind, bool) {
+			if c.cur.IsNil() {
+				return core.StepFinish, false
+			}
+			next := l.At(c.cur).Next.Load()
+			if next.Tag() != 0 {
+				// Excise the marked run [cur, end). The run is captured
+				// into a buffer before the masked writes so retirement
+				// never re-reads a link after a retire.
+				end := runEnd(l, c.cur, &h.run)
+				h.maskPrevS.ProtectSlot(c.prev)
+				h.maskRunS.Protect(c.cur)
+				h.maskEndS.Protect(end)
+				succ := false
+				ran, mustRollback := h.h.Mask(func() {
+					if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, end) {
+						retireRun(l, &h.run, func(slot uint64) { h.h.Retire(slot, l.Pool) })
+						succ = true
+					}
+				})
+				if mustRollback {
+					return core.StepAbort, false
+				}
+				if !ran || !succ {
+					return core.StepFail, false
+				}
+				c.cur = end
+				return core.StepContinue, false
+			}
+			if k := l.At(c.cur).Key.Load(); k >= key {
+				return core.StepFinish, k == key
+			}
+			c.prev = c.cur.Slot()
+			c.cur = next
+			return core.StepContinue, false
+		},
+	}
+	return core.Traverse(h.h, h.prot, h.backup, t)
+}
+
+// Get returns the value mapped to key (full Harris search, helps excise).
+func (h *ExpeditedHandle) Get(key int64) (int64, bool) {
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched() // break single-CPU retry ping-pongs
+			}
+			continue
+		}
+		if !found {
+			return 0, false
+		}
+		return h.l.List.At(c.cur).Val.Load(), true
+	}
+}
+
+// GetOptimistic is the HHSList wait-free-style contains lifted onto the
+// Traverse engine: a pure read traversal through marked nodes. Under
+// HP-BRCU it is only lock-free (rollbacks may retry it), matching the
+// paper's footnote 9.
+func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
+	l := h.l.List
+	t := core.Traversal[getCursor, bool]{
+		Init: func() getCursor {
+			return getCursor{cur: l.Pool.At(l.Head).Next.Load().Untagged()}
+		},
+		Validate: func(c *getCursor) bool {
+			return c.cur.IsNil() || l.At(c.cur).Next.Load().Tag() == 0
+		},
+		Step: func(c *getCursor) (core.StepKind, bool) {
+			if c.cur.IsNil() {
+				return core.StepFinish, false
+			}
+			n := l.At(c.cur)
+			if n.Key.Load() >= key {
+				found := n.Key.Load() == key && n.Next.Load().Tag() == 0
+				return core.StepFinish, found
+			}
+			c.cur = n.Next.Load().Untagged()
+			return core.StepContinue, false
+		},
+	}
+	for attempt := 0; ; attempt++ {
+		c, found, ok := core.Traverse(h.h, h.getProt, h.getBackup, t)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue // checkpointed on a node that got marked; rare
+		}
+		if !found {
+			return 0, false
+		}
+		return l.At(c.cur).Val.Load(), true
+	}
+}
+
+// Insert maps key to val; it fails if key is already present.
+func (h *ExpeditedHandle) Insert(key, val int64) bool {
+	l := h.l.List
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if found {
+			if newSlot != 0 {
+				l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		if newSlot == 0 {
+			newSlot, newRef = l.NewNode(h.cache, key, val, c.cur)
+		} else {
+			l.Pool.At(newSlot).Next.Store(c.cur)
+		}
+		if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, newRef) {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key: logical deletion outside the critical section on the
+// HP-protected cursor, then best-effort physical excision.
+func (h *ExpeditedHandle) Remove(key int64) (int64, bool) {
+	l := h.l.List
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !found {
+			return 0, false
+		}
+		curN := l.At(c.cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			continue
+		}
+		val := curN.Val.Load()
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			continue
+		}
+		if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, next) {
+			l.Pool.Hdr(c.cur.Slot()).Retire()
+			h.h.Retire(c.cur.Slot(), l.Pool)
+		}
+		return val, true
+	}
+}

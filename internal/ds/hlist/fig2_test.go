@@ -1,0 +1,135 @@
+package hlist
+
+import (
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/hp"
+)
+
+// TestFig2PlainHPUnsafe replays Figure 2 deterministically: plain hazard
+// pointers cannot protect Harris's optimistic traversal. T1 protects p and
+// q; T2 marks and excises the run {q, r} in one CAS and reclaims r (which
+// no shield covers); T1 then follows the link out of the retired q and
+// reaches r — which our allocator reports as freed, i.e. a use-after-free
+// in a manually managed language.
+//
+// The companion assertion runs the same interleaving under HP-BRCU's
+// two-step retirement, where r must still be intact because T1's critical
+// section defers every HP-Retire.
+func TestFig2PlainHPUnsafe(t *testing.T) {
+	build := func() (*lnode.List, [4]uint64) {
+		l := lnode.New()
+		cache := l.Pool.NewCache()
+		var slots [4]uint64
+		// p(0) -> q(1) -> r(2) -> s(3)
+		next := atomicx.Nil
+		for i := 3; i >= 0; i-- {
+			s, _ := l.NewNode(cache, int64(i), int64(i), next)
+			slots[i] = s
+			next = lnodeRef(s)
+		}
+		l.Pool.At(l.Head).Next.Store(lnodeRef(slots[0]))
+		return l, slots
+	}
+
+	t.Run("plain-HP", func(t *testing.T) {
+		l, s := build()
+		dom := hp.NewDomain(nil, hp.WithScanThreshold(1))
+		t1 := dom.Register()
+		t2 := dom.Register()
+		defer t1.Unregister()
+		defer t2.Unregister()
+
+		// T1 traverses optimistically and protects p and q.
+		prevS, curS := t1.NewShield(), t1.NewShield()
+		prevS.ProtectSlot(s[0])
+		curS.ProtectSlot(s[1])
+
+		// T2 marks q and r and excises the run with one CAS, then retires
+		// both. r is protected by no shield, so HP reclaims it.
+		markNode(l, s[1])
+		markNode(l, s[2])
+		if !l.Pool.At(s[0]).Next.CompareAndSwap(lnodeRef(s[1]), lnodeRef(s[3])) {
+			t.Fatal("excision CAS failed")
+		}
+		for _, victim := range []uint64{s[1], s[2]} {
+			l.Pool.Hdr(victim).Retire()
+			t2.Retire(victim, l.Pool)
+		}
+
+		// q survives (T1's shield); r is gone.
+		if l.Pool.Hdr(s[1]).State() == alloc.StateFree {
+			t.Fatal("q was freed despite T1's shield")
+		}
+		if l.Pool.Hdr(s[2]).State() != alloc.StateFree {
+			t.Fatal("r should have been reclaimed (nothing protects it)")
+		}
+
+		// T1 resumes: follows the link out of the retired q...
+		rRef := l.Pool.At(s[1]).Next.Load().Untagged()
+		if rRef.Slot() != s[2] {
+			t.Fatalf("q's link changed; expected it to still point at r")
+		}
+		// ...and lands on freed memory: the use-after-free of Figure 2.
+		if l.Pool.Hdr(rRef.Slot()).State() != alloc.StateFree {
+			t.Fatal("expected to observe the use-after-free on r")
+		}
+	})
+
+	t.Run("HP-BRCU-two-step", func(t *testing.T) {
+		l, s := build()
+		dom := core.NewDomain(core.BackendBRCU, core.Config{MaxLocalTasks: 1, ForceThreshold: 1 << 30, ScanThreshold: 1})
+		t1 := dom.Register()
+		t2 := dom.Register()
+		defer t1.Unregister()
+		defer t2.Unregister()
+
+		// T1 is inside a critical section (no per-node protection at all).
+		t1.Pin()
+
+		markNode(l, s[1])
+		markNode(l, s[2])
+		if !l.Pool.At(s[0]).Next.CompareAndSwap(lnodeRef(s[1]), lnodeRef(s[3])) {
+			t.Fatal("excision CAS failed")
+		}
+		for _, victim := range []uint64{s[1], s[2]} {
+			l.Pool.Hdr(victim).Retire()
+			t2.Retire(victim, l.Pool)
+		}
+		t2.HP.Reclaim()
+
+		// Two-step retirement: the HP-Retire itself is deferred past T1's
+		// critical section, so both q and r are still dereferenceable.
+		if l.Pool.Hdr(s[1]).State() == alloc.StateFree || l.Pool.Hdr(s[2]).State() == alloc.StateFree {
+			t.Fatal("two-step retirement freed a node under a live critical section")
+		}
+		rRef := l.Pool.At(s[1]).Next.Load().Untagged()
+		if l.Pool.At(rRef.Slot()).Key.Load() != 2 {
+			t.Fatal("r unreadable inside the critical section")
+		}
+
+		// After T1 exits, reclamation proceeds.
+		t1.Unpin()
+		t2.Barrier()
+		if l.Pool.Hdr(s[2]).State() != alloc.StateFree {
+			t.Fatal("r not reclaimed after the critical section ended")
+		}
+	})
+}
+
+// lnodeRef builds an untagged reference to slot.
+func lnodeRef(slot uint64) atomicx.Ref { return atomicx.MakeRef(slot, 0) }
+
+// markNode sets the logical-deletion mark on the node's next field.
+func markNode(l *lnode.List, slot uint64) {
+	for {
+		v := l.Pool.At(slot).Next.Load()
+		if v.Tag() != 0 || l.Pool.At(slot).Next.CompareAndSwap(v, v.WithTag(lnode.MarkBit)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package hlist
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/nbr"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// NBR is a Harris list protected by neutralization-based reclamation. The
+// list is access-aware here because every write — run excision, insertion,
+// marking — happens in a write phase on reserved nodes, and after a write
+// the traversal restarts from the entry point (§2.3). A neutralization at
+// any point in the read phase restarts the whole operation, which is what
+// starves long-running operations.
+//
+// Reservation slots: 0 = prev, 1 = cur/run head, 2 = run end / new node.
+type NBR struct {
+	List *lnode.List
+	dom  *nbr.Domain
+}
+
+// NewNBR creates an NBR-protected list (batch 128).
+func NewNBR(opts ...nbr.Option) *NBR {
+	return &NBR{List: lnode.New(), dom: nbr.NewDomain(nil, opts...)}
+}
+
+// NewNBRLarge creates the paper's NBR-Large configuration (batch 8192).
+func NewNBRLarge() *NBR {
+	return &NBR{List: lnode.New(), dom: nbr.NewDomain(nil, nbr.WithBatchSize(nbr.LargeBatchSize))}
+}
+
+// NewNBRFrom wraps an existing list core and domain (shared buckets).
+func NewNBRFrom(core *lnode.List, dom *nbr.Domain) *NBR {
+	return &NBR{List: core, dom: dom}
+}
+
+// Domain exposes the underlying reclamation domain.
+func (l *NBR) Domain() *nbr.Domain { return l.dom }
+
+// HandleFor builds a handle around an existing per-thread context.
+func (l *NBR) HandleFor(h *nbr.Handle, cache *alloc.Cache[lnode.Node]) NBRHandle {
+	return NBRHandle{l: l, h: h, cache: cache}
+}
+
+// Stats exposes reclamation statistics.
+func (l *NBR) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// LenSlow and KeysSlow delegate to the core (tests only).
+func (l *NBR) LenSlow() int      { return l.List.LenSlow() }
+func (l *NBR) KeysSlow() []int64 { return l.List.KeysSlow() }
+
+// NBRHandle is one thread's accessor.
+type NBRHandle struct {
+	l     *NBR
+	h     *nbr.Handle
+	cache *alloc.Cache[lnode.Node]
+	run   runBuf
+}
+
+// Register creates a thread handle.
+func (l *NBR) Register() *NBRHandle {
+	return &NBRHandle{l: l, h: l.dom.Register(), cache: l.List.Pool.NewCache()}
+}
+
+// Unregister releases the handle.
+func (h *NBRHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains reclamation (teardown/tests).
+func (h *NBRHandle) Barrier() { h.h.Barrier() }
+
+// searchResult is what one read-phase traversal attempt produces.
+type searchResult int
+
+const (
+	srRestart searchResult = iota // neutralized or helped: start over
+	srFound
+	srNotFound
+)
+
+// searchOnce runs one read phase from the entry point. When it meets a
+// marked run it reserves the excision operands, transitions to a write
+// phase, excises, and asks for a restart (access-aware discipline: reads
+// resume only from entry points after a write). On srFound/srNotFound the
+// thread is in a write phase with prev (slot 0) and cur (slot 1) reserved.
+func (h *NBRHandle) searchOnce(key int64) (prev uint64, cur atomicx.Ref, res searchResult) {
+	l := h.l.List
+	h.h.StartRead()
+	prev = l.Head
+	cur = l.Pool.At(prev).Next.Load()
+	yc := 0
+	for {
+		atomicx.StepYield(&yc)
+		if !h.h.Poll() {
+			h.h.RecordRestart()
+			return 0, atomicx.Nil, srRestart
+		}
+		if cur.IsNil() {
+			h.h.Reserve(0, prev)
+			h.h.Reserve(1, 0)
+			if !h.h.EnterWrite() {
+				h.h.RecordRestart()
+				return 0, atomicx.Nil, srRestart
+			}
+			return prev, cur, srNotFound
+		}
+		next := l.At(cur).Next.Load()
+		if next.Tag() != 0 {
+			// Marked run: reserve operands, excise in a write phase,
+			// then restart from the entry point.
+			end := runEnd(l, cur, &h.run)
+			h.h.Reserve(0, prev)
+			h.h.Reserve(1, cur.Slot())
+			h.h.Reserve(2, end.Slot())
+			if !h.h.EnterWrite() {
+				h.h.RecordRestart()
+				return 0, atomicx.Nil, srRestart
+			}
+			if l.Pool.At(prev).Next.CompareAndSwap(cur, end) {
+				retireRun(l, &h.run, func(slot uint64) { h.h.Retire(slot, l.Pool) })
+			}
+			h.h.EndOp()
+			h.h.ClearReservations()
+			return 0, atomicx.Nil, srRestart
+		}
+		if k := l.At(cur).Key.Load(); k >= key {
+			h.h.Reserve(0, prev)
+			h.h.Reserve(1, cur.Slot())
+			if !h.h.EnterWrite() {
+				h.h.RecordRestart()
+				return 0, atomicx.Nil, srRestart
+			}
+			if k == key {
+				return prev, cur, srFound
+			}
+			return prev, cur, srNotFound
+		}
+		prev = cur.Slot()
+		cur = next
+	}
+}
+
+// Get returns the value mapped to key. The traversal is a pure read
+// phase; a broadcast anywhere during it restarts it from the entry point.
+func (h *NBRHandle) Get(key int64) (int64, bool) {
+	l := h.l.List
+	for {
+		h.h.StartRead()
+		cur := l.Pool.At(l.Head).Next.Load().Untagged()
+		yc := 0
+		for !cur.IsNil() && l.At(cur).Key.Load() < key {
+			atomicx.StepYield(&yc)
+			if !h.h.Poll() {
+				break
+			}
+			cur = l.At(cur).Next.Load().Untagged()
+		}
+		if !h.h.Poll() {
+			h.h.RecordRestart()
+			continue
+		}
+		var val int64
+		found := false
+		if !cur.IsNil() {
+			n := l.At(cur)
+			if n.Key.Load() == key && n.Next.Load().Tag() == 0 {
+				val = n.Val.Load()
+				found = true
+			}
+		}
+		if !h.h.EndRead() {
+			h.h.RecordRestart()
+			continue // neutralized before commit: discard the result
+		}
+		return val, found
+	}
+}
+
+// GetOptimistic is identical to Get for NBR (its get is already a pure
+// read traversal); provided for interface parity with the other variants.
+func (h *NBRHandle) GetOptimistic(key int64) (int64, bool) { return h.Get(key) }
+
+// Insert maps key to val; it fails if key is already present.
+func (h *NBRHandle) Insert(key, val int64) bool {
+	l := h.l.List
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for {
+		prev, cur, res := h.searchOnce(key)
+		switch res {
+		case srRestart:
+			continue
+		case srFound:
+			h.h.EndOp()
+			h.h.ClearReservations()
+			if newSlot != 0 {
+				l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		// In write phase with prev/cur reserved.
+		if newSlot == 0 {
+			newSlot, newRef = l.NewNode(h.cache, key, val, cur)
+		} else {
+			l.Pool.At(newSlot).Next.Store(cur)
+		}
+		ok := l.Pool.At(prev).Next.CompareAndSwap(cur, newRef)
+		h.h.EndOp()
+		h.h.ClearReservations()
+		if ok {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key, returning the removed value.
+func (h *NBRHandle) Remove(key int64) (int64, bool) {
+	l := h.l.List
+	for {
+		prev, cur, res := h.searchOnce(key)
+		switch res {
+		case srRestart:
+			continue
+		case srNotFound:
+			h.h.EndOp()
+			h.h.ClearReservations()
+			return 0, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			h.h.EndOp()
+			h.h.ClearReservations()
+			continue
+		}
+		val := curN.Val.Load()
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			h.h.EndOp()
+			h.h.ClearReservations()
+			continue
+		}
+		if l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Retire(cur.Slot(), l.Pool)
+		}
+		h.h.EndOp()
+		h.h.ClearReservations()
+		return val, true
+	}
+}

@@ -1,0 +1,150 @@
+package hmlist
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/ebr"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// EBR is a Harris-Michael list protected by epoch-based RCU (or by nothing
+// at all in NR mode): every operation runs inside one critical section, so
+// traversal needs no per-node protection, but a stalled or long-running
+// reader blocks all reclamation (§2.2).
+type EBR struct {
+	*lnode.List
+	dom *ebr.Domain
+}
+
+// NewEBR creates a list reclaimed by epoch-based RCU.
+func NewEBR(opts ...ebr.Option) *EBR {
+	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, opts...)}
+}
+
+// NewNR creates the no-reclamation baseline: retired nodes leak.
+func NewNR() *EBR {
+	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+}
+
+// Stats exposes reclamation statistics.
+func (l *EBR) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// EBRHandle is one thread's accessor.
+type EBRHandle struct {
+	l     *EBR
+	h     *ebr.Handle
+	cache *alloc.Cache[lnode.Node]
+}
+
+// Register creates a thread handle.
+func (l *EBR) Register() *EBRHandle {
+	return &EBRHandle{l: l, h: l.dom.Register(), cache: l.Pool.NewCache()}
+}
+
+// Unregister releases the handle.
+func (h *EBRHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains reclamation (teardown/tests).
+func (h *EBRHandle) Barrier() { h.h.Barrier() }
+
+// find locates the position for key with helping (physical deletion of
+// marked nodes). Must run pinned. It returns the predecessor slot, the
+// (untagged) current reference, and whether key is present.
+func (h *EBRHandle) find(key int64) (prev uint64, cur atomicx.Ref, found bool) {
+	l := h.l.List
+retry:
+	prev = l.Head
+	cur = l.Pool.At(prev).Next.Load()
+	yc := 0
+	for {
+		atomicx.StepYield(&yc)
+		if cur.IsNil() {
+			return prev, cur, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			// cur is logically deleted: help unlink it (the write that
+			// makes this structure inapplicable to NBR).
+			next = next.Untagged()
+			if !l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+				goto retry
+			}
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Defer(cur.Slot(), l.Pool)
+			cur = next
+			continue
+		}
+		if k := curN.Key.Load(); k >= key {
+			return prev, cur, k == key
+		}
+		prev = cur.Slot()
+		cur = next
+	}
+}
+
+// Get returns the value mapped to key.
+func (h *EBRHandle) Get(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	_, cur, found := h.find(key)
+	if !found {
+		return 0, false
+	}
+	return h.l.At(cur).Val.Load(), true
+}
+
+// Insert maps key to val; it fails if key is already present.
+func (h *EBRHandle) Insert(key, val int64) bool {
+	h.h.Pin()
+	defer h.h.Unpin()
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for {
+		prev, cur, found := h.find(key)
+		if found {
+			if newSlot != 0 {
+				h.l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		if newSlot == 0 {
+			newSlot, newRef = h.l.NewNode(h.cache, key, val, cur)
+		} else {
+			h.l.Pool.At(newSlot).Next.Store(cur)
+		}
+		if h.l.Pool.At(prev).Next.CompareAndSwap(cur, newRef) {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key, returning the removed value.
+func (h *EBRHandle) Remove(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	l := h.l.List
+	for {
+		prev, cur, found := h.find(key)
+		if !found {
+			return 0, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			continue // someone else is removing it; re-find
+		}
+		val := curN.Val.Load()
+		// Logical deletion: mark cur's next.
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			continue
+		}
+		// Physical deletion: best effort; failures are helped later.
+		if l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Defer(cur.Slot(), l.Pool)
+		}
+		return val, true
+	}
+}

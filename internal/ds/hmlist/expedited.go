@@ -1,0 +1,240 @@
+package hmlist
+
+import (
+	"runtime"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Expedited is a Harris-Michael list protected by HP-RCU or HP-BRCU
+// (Algorithm 8): traversal follows links inside (bounded) RCU critical
+// sections with periodic HP checkpoints, and the physical deletion of
+// marked nodes — the write that defeats NBR — runs inside an abort-masked
+// region.
+type Expedited struct {
+	*lnode.List
+	dom *core.Domain
+}
+
+// NewHPRCU creates a list protected by HP-RCU (§3).
+func NewHPRCU(cfg core.Config) *Expedited {
+	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendRCU, cfg)}
+}
+
+// NewHPBRCU creates a list protected by HP-BRCU (§4).
+func NewHPBRCU(cfg core.Config) *Expedited {
+	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendBRCU, cfg)}
+}
+
+// Stats exposes reclamation statistics.
+func (l *Expedited) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// Domain exposes the underlying HP-(B)RCU domain (for bound checks).
+func (l *Expedited) Domain() *core.Domain { return l.dom }
+
+// cursor is the traversal cursor (Algorithm 8's ListCursor): the
+// predecessor slot and the untagged current reference.
+type cursor struct {
+	prev uint64
+	cur  atomicx.Ref
+}
+
+// protector checkpoints a cursor into two shields (Algorithm 8's
+// ListCursorProtector).
+type protector struct {
+	prevS, curS *hp.Shield
+}
+
+func newProtector(h *core.Handle) *protector {
+	return &protector{prevS: h.NewShield(), curS: h.NewShield()}
+}
+
+// Protect implements core.Protector.
+func (p *protector) Protect(c *cursor) {
+	p.prevS.ProtectSlot(c.prev)
+	p.curS.Protect(c.cur)
+}
+
+// ExpeditedHandle is one thread's accessor.
+type ExpeditedHandle struct {
+	l     *Expedited
+	h     *core.Handle
+	cache *alloc.Cache[lnode.Node]
+
+	prot, backup        *protector
+	maskPrevS, maskCurS *hp.Shield
+}
+
+// Register creates a thread handle.
+func (l *Expedited) Register() *ExpeditedHandle {
+	h := l.dom.Register()
+	return &ExpeditedHandle{
+		l: l, h: h, cache: l.Pool.NewCache(),
+		prot:      newProtector(h),
+		backup:    newProtector(h),
+		maskPrevS: h.NewShield(),
+		maskCurS:  h.NewShield(),
+	}
+}
+
+// Unregister releases the handle.
+func (h *ExpeditedHandle) Unregister() {
+	h.prot.prevS.Clear()
+	h.prot.curS.Clear()
+	h.backup.prevS.Clear()
+	h.backup.curS.Clear()
+	h.maskPrevS.Clear()
+	h.maskCurS.Clear()
+	h.h.Unregister()
+}
+
+// Barrier drains reclamation (teardown/tests).
+func (h *ExpeditedHandle) Barrier() { h.h.Barrier() }
+
+// search runs the expedited traversal (Algorithm 8's TrySearch): it
+// returns the protected position of key. ok is false when the operation
+// must be retried (failed revalidation or helping CAS).
+func (h *ExpeditedHandle) search(key int64) (cursor, bool, bool) {
+	l := h.l.List
+	t := core.Traversal[cursor, bool]{
+		Init: func() cursor {
+			return cursor{prev: l.Head, cur: l.Pool.At(l.Head).Next.Load()}
+		},
+		// Validate: resuming is safe while cur is not logically deleted
+		// (§3.3). A nil cur cannot be marked.
+		Validate: func(c *cursor) bool {
+			if c.cur.IsNil() {
+				return l.Pool.At(c.prev).Next.Load().Tag() == 0
+			}
+			return l.At(c.cur).Next.Load().Tag() == 0
+		},
+		Step: func(c *cursor) (core.StepKind, bool) {
+			if c.cur.IsNil() {
+				return core.StepFinish, false
+			}
+			curN := l.At(c.cur)
+			next := curN.Next.Load()
+			if next.Tag() != 0 {
+				// Physical deletion is rollback-safe but not
+				// abort-rollback-safe (it retires); run it masked
+				// with the operands protected by outliving shields
+				// (Algorithm 8 lines 23-27).
+				next = next.Untagged()
+				h.maskPrevS.ProtectSlot(c.prev)
+				h.maskCurS.Protect(c.cur)
+				succ := false
+				ran, mustRollback := h.h.Mask(func() {
+					if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, next) {
+						l.Pool.Hdr(c.cur.Slot()).Retire()
+						h.h.Retire(c.cur.Slot(), l.Pool)
+						succ = true
+					}
+				})
+				if mustRollback {
+					return core.StepAbort, false
+				}
+				if !ran || !succ {
+					return core.StepFail, false
+				}
+				c.cur = next
+				return core.StepContinue, false
+			}
+			if k := curN.Key.Load(); k >= key {
+				return core.StepFinish, k == key
+			}
+			c.prev = c.cur.Slot()
+			c.cur = next
+			return core.StepContinue, false
+		},
+	}
+	c, found, ok := core.Traverse(h.h, h.prot, h.backup, t)
+	return c, found, ok
+}
+
+// Get returns the value mapped to key.
+func (h *ExpeditedHandle) Get(key int64) (int64, bool) {
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched() // break single-CPU retry ping-pongs
+			}
+			continue // rare: revalidation or helping failed (§4.3)
+		}
+		if !found {
+			return 0, false
+		}
+		return h.l.At(c.cur).Val.Load(), true
+	}
+}
+
+// Insert maps key to val; it fails if key is already present. The
+// publishing CAS runs outside the critical section on HP-protected nodes,
+// exactly as with plain hazard pointers.
+func (h *ExpeditedHandle) Insert(key, val int64) bool {
+	l := h.l.List
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if found {
+			if newSlot != 0 {
+				l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		if newSlot == 0 {
+			newSlot, newRef = l.NewNode(h.cache, key, val, c.cur)
+		} else {
+			l.Pool.At(newSlot).Next.Store(c.cur)
+		}
+		if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, newRef) {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key, returning the removed value.
+func (h *ExpeditedHandle) Remove(key int64) (int64, bool) {
+	l := h.l.List
+	for attempt := 0; ; attempt++ {
+		c, found, ok := h.search(key)
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !found {
+			return 0, false
+		}
+		curN := l.At(c.cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			continue // concurrently removed; re-find
+		}
+		val := curN.Val.Load()
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			continue
+		}
+		// Physical deletion outside the critical section: prev and cur
+		// are HP-protected by prot, so this is plain HP territory;
+		// Retire (two-step) is legal outside critical sections.
+		if l.Pool.At(c.prev).Next.CompareAndSwap(c.cur, next) {
+			l.Pool.Hdr(c.cur.Slot()).Retire()
+			h.h.Retire(c.cur.Slot(), l.Pool)
+		}
+		return val, true
+	}
+}

@@ -1,0 +1,176 @@
+package hmlist
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ds/lnode"
+	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// HP is a Harris-Michael list protected by plain hazard pointers
+// (Michael's original algorithm): every traversed node is individually
+// protected and validated against its predecessor, restarting from the
+// head when validation fails. Robust, but each step pays a shield store
+// plus a validating re-read (§2.1) — the per-node overhead HP-RCU/HP-BRCU
+// eliminate.
+type HP struct {
+	*lnode.List
+	dom *hp.Domain
+}
+
+// NewHP creates a hazard-pointer-protected list.
+func NewHP(opts ...hp.Option) *HP {
+	return &HP{List: lnode.New(), dom: hp.NewDomain(nil, opts...)}
+}
+
+// NewHPFrom wraps an existing list core and domain (shared buckets).
+func NewHPFrom(core *lnode.List, dom *hp.Domain) *HP {
+	return &HP{List: core, dom: dom}
+}
+
+// Domain exposes the underlying reclamation domain.
+func (l *HP) Domain() *hp.Domain { return l.dom }
+
+// Rebind points the handle at another list sharing the same domain and
+// pool (bucket switching); shields and cache are reused.
+func (h *HPHandle) Rebind(l *HP) { h.l = l }
+
+// Stats exposes reclamation statistics.
+func (l *HP) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// HPHandle is one thread's accessor. It owns three shields: predecessor,
+// current, and a spare used when shifting the protection window.
+type HPHandle struct {
+	l     *HP
+	h     *hp.Handle
+	cache *alloc.Cache[lnode.Node]
+
+	prevS, curS, nextS *hp.Shield
+}
+
+// Register creates a thread handle.
+func (l *HP) Register() *HPHandle {
+	h := l.dom.Register()
+	return &HPHandle{
+		l: l, h: h, cache: l.Pool.NewCache(),
+		prevS: h.NewShield(), curS: h.NewShield(), nextS: h.NewShield(),
+	}
+}
+
+// Unregister releases the handle.
+func (h *HPHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains this thread's retired batch where possible.
+func (h *HPHandle) Barrier() { h.h.Reclaim() }
+
+// find locates key, protecting prev and cur with validated shields. On
+// return cur (if non-nil) is protected by curS and prev — when it is not
+// the immortal head sentinel — by prevS.
+func (h *HPHandle) find(key int64) (prev uint64, cur atomicx.Ref, found bool) {
+	l := h.l.List
+retry:
+	prev = l.Head
+	h.prevS.Clear()
+	cur = hp.ProtectFrom(h.curS, &l.Pool.At(prev).Next)
+	yc := 0
+	for {
+		atomicx.StepYield(&yc)
+		if cur.IsNil() {
+			return prev, cur, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			// cur is marked: help unlink. The CAS both validates that
+			// cur is still reachable from prev and removes it.
+			next = next.Untagged()
+			if !l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+				goto retry
+			}
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Retire(cur.Slot(), l.Pool)
+			// Re-protect the new current from prev (validated).
+			cur = hp.ProtectFrom(h.curS, &l.Pool.At(prev).Next)
+			// prev.next may have changed again; ProtectFrom revalidated
+			// against the live prev, so simply continue.
+			if cur.Tag() != 0 {
+				goto retry // prev itself got marked
+			}
+			continue
+		}
+		if k := curN.Key.Load(); k >= key {
+			return prev, cur, k == key
+		}
+		// Shift the window: cur becomes prev; protect next as new cur,
+		// validated against (the still-protected) cur.
+		nextRef := hp.ProtectFrom(h.nextS, &curN.Next)
+		if nextRef.Tag() != 0 {
+			continue // cur got marked; handle it in the next iteration
+		}
+		if nextRef != next {
+			next = nextRef
+			continue
+		}
+		prev = cur.Slot()
+		h.prevS, h.curS, h.nextS = h.curS, h.nextS, h.prevS
+		cur = next
+	}
+}
+
+// Get returns the value mapped to key.
+func (h *HPHandle) Get(key int64) (int64, bool) {
+	_, cur, found := h.find(key)
+	if !found {
+		return 0, false
+	}
+	return h.l.At(cur).Val.Load(), true
+}
+
+// Insert maps key to val; it fails if key is already present.
+func (h *HPHandle) Insert(key, val int64) bool {
+	var newSlot uint64
+	var newRef atomicx.Ref
+	for {
+		prev, cur, found := h.find(key)
+		if found {
+			if newSlot != 0 {
+				h.l.Discard(h.cache, newSlot)
+			}
+			return false
+		}
+		if newSlot == 0 {
+			newSlot, newRef = h.l.NewNode(h.cache, key, val, cur)
+		} else {
+			h.l.Pool.At(newSlot).Next.Store(cur)
+		}
+		if h.l.Pool.At(prev).Next.CompareAndSwap(cur, newRef) {
+			return true
+		}
+	}
+}
+
+// Remove unmaps key, returning the removed value.
+func (h *HPHandle) Remove(key int64) (int64, bool) {
+	l := h.l.List
+	for {
+		prev, cur, found := h.find(key)
+		if !found {
+			return 0, false
+		}
+		curN := l.At(cur)
+		next := curN.Next.Load()
+		if next.Tag() != 0 {
+			continue
+		}
+		val := curN.Val.Load()
+		if !curN.Next.CompareAndSwap(next, next.WithTag(lnode.MarkBit)) {
+			continue
+		}
+		if l.Pool.At(prev).Next.CompareAndSwap(cur, next) {
+			l.Pool.Hdr(cur.Slot()).Retire()
+			h.h.Retire(cur.Slot(), l.Pool)
+		}
+		return val, true
+	}
+}

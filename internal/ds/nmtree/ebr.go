@@ -1,0 +1,146 @@
+package nmtree
+
+import (
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/ebr"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// EBR is a Natarajan-Mittal tree protected by epoch-based RCU (or nothing
+// in NR mode).
+type EBR struct {
+	t   *tree
+	dom *ebr.Domain
+}
+
+// NewEBR creates a tree reclaimed by epoch-based RCU.
+func NewEBR(opts ...ebr.Option) *EBR {
+	return &EBR{t: newTree(), dom: ebr.NewDomain(nil, opts...)}
+}
+
+// NewNR creates the no-reclamation baseline.
+func NewNR() *EBR {
+	return &EBR{t: newTree(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+}
+
+// Stats exposes reclamation statistics.
+func (l *EBR) Stats() *stats.Reclamation { return l.dom.Stats() }
+
+// LenSlow and KeysSlow are single-threaded structural checks.
+func (l *EBR) LenSlow() int      { return l.t.lenSlow() }
+func (l *EBR) KeysSlow() []int64 { return l.t.keysSlow() }
+
+// EBRHandle is one thread's accessor.
+type EBRHandle struct {
+	l     *EBR
+	h     *ebr.Handle
+	cache *alloc.Cache[node]
+}
+
+// Register creates a thread handle.
+func (l *EBR) Register() *EBRHandle {
+	return &EBRHandle{l: l, h: l.dom.Register(), cache: l.t.pool.NewCache()}
+}
+
+// Unregister releases the handle.
+func (h *EBRHandle) Unregister() { h.h.Unregister() }
+
+// Barrier drains reclamation (teardown/tests).
+func (h *EBRHandle) Barrier() { h.h.Barrier() }
+
+func (h *EBRHandle) retire(slot uint64) { h.h.Defer(slot, h.l.t.pool) }
+
+// seek runs the NM seek to a leaf. Must run pinned.
+func (h *EBRHandle) seek(key int64) seekRecord {
+	t := h.l.t
+	c := t.seekInit()
+	yc := 0
+	for !t.seekStep(key, &c) {
+		atomicx.StepYield(&yc)
+	}
+	return c.sr
+}
+
+// Get returns the value mapped to key.
+func (h *EBRHandle) Get(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	sr := h.seek(key)
+	leaf := h.l.t.pool.At(sr.leaf)
+	if leaf.Key.Load() != key {
+		return 0, false
+	}
+	return leaf.Val.Load(), true
+}
+
+// Insert maps key to val; it fails if key is already present.
+func (h *EBRHandle) Insert(key, val int64) bool {
+	h.h.Pin()
+	defer h.h.Unpin()
+	t := h.l.t
+	for {
+		sr := h.seek(key)
+		if t.pool.At(sr.leaf).Key.Load() == key {
+			return false
+		}
+		internal := t.newLeafAndInternal(h.cache, key, val, sr.leaf)
+		childE := t.childEdge(t.pool.At(sr.parent), key)
+		if childE.CompareAndSwap(atomicx.MakeRef(sr.leaf, 0), internal) {
+			return true
+		}
+		t.discardInsert(h.cache, internal, sr.leaf)
+		// Help an obstructing deletion if the failed edge is ours.
+		cv := childE.Load()
+		if cv.Slot() == sr.leaf && cv.Tag() != 0 {
+			t.cleanup(key, sr, h.retire)
+		}
+	}
+}
+
+// Remove unmaps key, returning the removed value.
+func (h *EBRHandle) Remove(key int64) (int64, bool) {
+	h.h.Pin()
+	defer h.h.Unpin()
+	t := h.l.t
+	injected := false
+	var doomed uint64
+	var val int64
+	for {
+		sr := h.seek(key)
+		if !injected {
+			leaf := t.pool.At(sr.leaf)
+			if leaf.Key.Load() != key {
+				return 0, false
+			}
+			val = leaf.Val.Load()
+			childE := t.childEdge(t.pool.At(sr.parent), key)
+			if childE.CompareAndSwap(atomicx.MakeRef(sr.leaf, 0), atomicx.MakeRef(sr.leaf, flagBit)) {
+				injected = true
+				doomed = sr.leaf
+				if t.cleanup(key, sr, h.retire) {
+					return val, true
+				}
+				continue
+			}
+			cv := childE.Load()
+			if cv.Slot() == sr.leaf && cv.Tag() != 0 {
+				t.cleanup(key, sr, h.retire) // help, then retry
+			}
+			continue
+		}
+		// Cleanup mode: our leaf is flagged; splice until it is gone.
+		if sr.leaf != doomed {
+			return val, true // someone else finished the splice
+		}
+		// An unflagged edge means a recycled slot (impossible while this
+		// pinned operation runs, but kept for uniformity with the other
+		// variants): the original splice already completed.
+		if cv := t.childEdge(t.pool.At(sr.parent), key).Load(); cv.Slot() != sr.leaf || cv.Tag()&flagBit == 0 {
+			return val, true
+		}
+		if t.cleanup(key, sr, h.retire) {
+			return val, true
+		}
+	}
+}

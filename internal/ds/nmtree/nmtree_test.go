@@ -1,0 +1,268 @@
+package nmtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+type handle interface {
+	Get(key int64) (int64, bool)
+	Insert(key, val int64) bool
+	Remove(key int64) (int64, bool)
+	Unregister()
+	Barrier()
+}
+
+type variant struct {
+	name     string
+	register func() handle
+	stats    func() *stats.Reclamation
+	lenSlow  func() int
+	keysSlow func() []int64
+}
+
+func variants() []variant {
+	nr := NewNR()
+	ebrT := NewEBR()
+	hprcu := NewHPRCU(core.Config{})
+	hpbrcu := NewHPBRCU(core.Config{})
+	nbrT := NewNBR()
+	return []variant{
+		{"NR", func() handle { return nr.Register() }, nr.Stats, nr.LenSlow, nr.KeysSlow},
+		{"EBR", func() handle { return ebrT.Register() }, ebrT.Stats, ebrT.LenSlow, ebrT.KeysSlow},
+		{"HP-RCU", func() handle { return hprcu.Register() }, hprcu.Stats, hprcu.LenSlow, hprcu.KeysSlow},
+		{"HP-BRCU", func() handle { return hpbrcu.Register() }, hpbrcu.Stats, hpbrcu.LenSlow, hpbrcu.KeysSlow},
+		{"NBR", func() handle { return nbrT.Register() }, nbrT.Stats, nbrT.LenSlow, nbrT.KeysSlow},
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			h := v.register()
+			defer h.Unregister()
+
+			if _, ok := h.Get(10); ok {
+				t.Fatal("empty tree contains 10")
+			}
+			if !h.Insert(10, 100) {
+				t.Fatal("insert 10")
+			}
+			if h.Insert(10, 101) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if got, ok := h.Get(10); !ok || got != 100 {
+				t.Fatalf("Get(10) = %d,%v", got, ok)
+			}
+			for _, k := range []int64{5, 15, 3, 7, 12, 20} {
+				if !h.Insert(k, k*10) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			if got := v.keysSlow(); !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("keys not sorted: %v", got)
+			}
+			if v.lenSlow() != 7 {
+				t.Fatalf("len = %d want 7", v.lenSlow())
+			}
+			if val, ok := h.Remove(10); !ok || val != 100 {
+				t.Fatalf("Remove(10) = %d,%v", val, ok)
+			}
+			if _, ok := h.Remove(10); ok {
+				t.Fatal("double remove succeeded")
+			}
+			if _, ok := h.Get(10); ok {
+				t.Fatal("removed key still present")
+			}
+			if v.lenSlow() != 6 {
+				t.Fatalf("len = %d want 6", v.lenSlow())
+			}
+			if !h.Insert(10, 110) {
+				t.Fatal("re-insert failed")
+			}
+			if got, _ := h.Get(10); got != 110 {
+				t.Fatalf("Get(10) = %d want 110", got)
+			}
+		})
+	}
+}
+
+func TestSequentialBulk(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			h := v.register()
+			defer h.Unregister()
+			const n = 800
+			perm := rand.New(rand.NewSource(7)).Perm(n)
+			for _, k := range perm {
+				if !h.Insert(int64(k), int64(k)) {
+					t.Fatalf("insert %d", k)
+				}
+			}
+			if v.lenSlow() != n {
+				t.Fatalf("len = %d want %d", v.lenSlow(), n)
+			}
+			for i := 0; i < n; i += 2 {
+				if _, ok := h.Remove(int64(i)); !ok {
+					t.Fatalf("remove %d", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				_, ok := h.Get(int64(i))
+				if want := i%2 == 1; ok != want {
+					t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			const workers = 8
+			const perWorker = 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(base int64) {
+					defer wg.Done()
+					h := v.register()
+					defer h.Unregister()
+					for i := int64(0); i < perWorker; i++ {
+						k := base*perWorker + i
+						if !h.Insert(k, k) {
+							t.Errorf("insert %d", k)
+							return
+						}
+					}
+					for i := int64(0); i < perWorker; i += 2 {
+						k := base*perWorker + i
+						if _, ok := h.Remove(k); !ok {
+							t.Errorf("remove %d", k)
+							return
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			h := v.register()
+			defer h.Unregister()
+			for w := int64(0); w < workers; w++ {
+				for i := int64(0); i < perWorker; i++ {
+					k := w*perWorker + i
+					_, ok := h.Get(k)
+					if want := i%2 == 1; ok != want {
+						t.Fatalf("key %d present=%v want %v", k, ok, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentContended(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			const workers = 8
+			const iters = 400
+			const keys = 8
+			var ins, rem [keys]int64
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := v.register()
+					defer h.Unregister()
+					rng := rand.New(rand.NewSource(seed))
+					var mi, mr [keys]int64
+					for i := 0; i < iters; i++ {
+						k := rng.Int63n(keys)
+						if rng.Intn(2) == 0 {
+							if h.Insert(k, k) {
+								mi[k]++
+							}
+						} else if _, ok := h.Remove(k); ok {
+							mr[k]++
+						}
+					}
+					mu.Lock()
+					for i := range ins {
+						ins[i] += mi[i]
+						rem[i] += mr[i]
+					}
+					mu.Unlock()
+				}(int64(w + 1))
+			}
+			wg.Wait()
+
+			h := v.register()
+			defer h.Unregister()
+			for k := int64(0); k < keys; k++ {
+				_, present := h.Get(k)
+				diff := ins[k] - rem[k]
+				if diff != 0 && diff != 1 {
+					t.Fatalf("key %d: inserts-removes=%d", k, diff)
+				}
+				if present != (diff == 1) {
+					t.Fatalf("key %d: present=%v diff=%d", k, present, diff)
+				}
+			}
+		})
+	}
+}
+
+func TestReclamationBalanceMostlyDrains(t *testing.T) {
+	// Chains can leak interior nodes (package comment); require that the
+	// vast majority of retired nodes drain and that retired>0.
+	for _, mk := range []struct {
+		name string
+		l    *Expedited
+	}{
+		{"HP-RCU", NewHPRCU(core.Config{})},
+		{"HP-BRCU", NewHPBRCU(core.Config{})},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			const workers = 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := mk.l.Register()
+					defer h.Unregister()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < 2000; i++ {
+						k := rng.Int63n(64)
+						if rng.Intn(2) == 0 {
+							h.Insert(k, k)
+						} else {
+							h.Remove(k)
+						}
+					}
+					h.Barrier()
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			h := mk.l.Register()
+			for i := 0; i < 8; i++ {
+				h.Barrier()
+			}
+			h.Unregister()
+			s := mk.l.Stats().Snapshot()
+			if s.Retired == 0 {
+				t.Fatal("no retires")
+			}
+			if s.Unreclaimed != 0 {
+				t.Fatalf("unreclaimed=%d retired=%d", s.Unreclaimed, s.Retired)
+			}
+		})
+	}
+}

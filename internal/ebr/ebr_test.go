@@ -1,0 +1,222 @@
+package ebr
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+)
+
+type node struct{ key int64 }
+
+func TestPinBlocksReclamation(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	reader := d.Register()
+	reclaimer := d.Register()
+	defer reclaimer.Unregister()
+
+	reader.Pin()
+
+	slot, _ := pool.Alloc(cache)
+	pool.Hdr(slot).Retire()
+	reclaimer.Defer(slot, pool)
+	for i := 0; i < 10; i++ {
+		reclaimer.Barrier() // cannot advance past the pinned reader
+	}
+	if pool.Hdr(slot).State() == alloc.StateFree {
+		t.Fatal("node reclaimed while a critical section from before the retire is live")
+	}
+
+	reader.Unpin()
+	reader.Unregister()
+	reclaimer.Barrier()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("node not reclaimed after reader exited")
+	}
+}
+
+func TestEpochAdvancesWhenQuiescent(t *testing.T) {
+	d := NewDomain(nil)
+	h := d.Register()
+	defer h.Unregister()
+	e0 := d.Epoch()
+	if !h.tryAdvance() {
+		t.Fatal("advance must succeed with no pinned threads")
+	}
+	if d.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), e0+1)
+	}
+}
+
+func TestLaggingPinBlocksAdvance(t *testing.T) {
+	d := NewDomain(nil)
+	a := d.Register()
+	b := d.Register()
+	defer a.Unregister()
+	defer b.Unregister()
+
+	a.Pin() // pinned at current epoch
+	if !b.tryAdvance() {
+		t.Fatal("advance must succeed while the only pinned thread is current")
+	}
+	// Now a lags by one; further advance must fail.
+	if b.tryAdvance() {
+		t.Fatal("advance must fail with a lagging pinned thread")
+	}
+	a.Repin() // catches up
+	if !b.tryAdvance() {
+		t.Fatal("advance must succeed after Repin")
+	}
+	a.Unpin()
+}
+
+func TestDeferredRunsAfterTwoEpochs(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	h := d.Register()
+	defer h.Unregister()
+
+	slot, _ := pool.Alloc(cache)
+	pool.Hdr(slot).Retire()
+	e := d.Epoch()
+	h.Defer(slot, pool) // batch size 1: flush + advance + collect inline
+	// One Defer advances at most one epoch; the node needs two.
+	if pool.Hdr(slot).State() == alloc.StateFree && d.Epoch() < e+2 {
+		t.Fatal("node freed before its grace period")
+	}
+	h.Barrier()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("node not freed after barrier")
+	}
+}
+
+func TestNoReclaimMode(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, NoReclaim(), WithBatchSize(1))
+	h := d.Register()
+	defer h.Unregister()
+
+	for i := 0; i < 100; i++ {
+		slot, _ := pool.Alloc(cache)
+		pool.Hdr(slot).Retire()
+		h.Defer(slot, pool)
+	}
+	h.Barrier()
+	s := d.Stats().Snapshot()
+	if s.Retired != 100 || s.Reclaimed != 0 || s.Unreclaimed != 100 {
+		t.Fatalf("NR stats = %+v, want retired=100 reclaimed=0", s)
+	}
+	if pool.Freed.Load() != 0 {
+		t.Fatal("NR domain must never free")
+	}
+}
+
+func TestCustomExecutor(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	h := d.Register()
+	defer h.Unregister()
+
+	var got []uint64
+	h.SetExecutor(func(r alloc.Retired) { got = append(got, r.Slot) })
+
+	slot, _ := pool.Alloc(cache)
+	pool.Hdr(slot).Retire()
+	h.Defer(slot, pool)
+	h.Barrier()
+	if len(got) != 1 || got[0] != slot {
+		t.Fatalf("executor calls = %v, want [%d]", got, slot)
+	}
+	if pool.Hdr(slot).State() != alloc.StateRetired {
+		t.Fatal("custom executor must replace the default free")
+	}
+}
+
+// TestConcurrentChurn hammers pin/defer from several goroutines and checks
+// that nothing is freed early (readers re-check state under pin) and that
+// everything is freed eventually.
+func TestConcurrentChurn(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	d := NewDomain(nil, WithBatchSize(16))
+	const writers = 4
+	const perWriter = 3000
+
+	var wg sync.WaitGroup
+	var shared [8]struct {
+		mu   sync.Mutex
+		slot uint64
+	}
+	// Seed shared cells.
+	{
+		c := pool.NewCache()
+		for i := range shared {
+			s, _ := pool.Alloc(c)
+			shared[i].slot = s
+		}
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h := d.Register()
+			defer h.Unregister()
+			c := pool.NewCache()
+			for i := 0; i < perWriter; i++ {
+				cell := &shared[(seed+i)%len(shared)]
+				ns, _ := pool.Alloc(c)
+				cell.mu.Lock()
+				old := cell.slot
+				cell.slot = ns
+				cell.mu.Unlock()
+				pool.Hdr(old).Retire()
+				h.Defer(old, pool)
+
+				// Reader side: pin and touch a live cell.
+				h.Pin()
+				cell.mu.Lock()
+				cur := cell.slot
+				cell.mu.Unlock()
+				if st := pool.Hdr(cur).State(); st == alloc.StateFree {
+					// The cell held a live node while locked; a free
+					// here means the grace period was violated...
+					// unless it was already replaced and freed after we
+					// read it, which the lock prevents observing
+					// mid-replacement but not after. Re-check under
+					// lock for a stable verdict.
+					cell.mu.Lock()
+					cur2 := cell.slot
+					stillSame := cur2 == cur
+					cell.mu.Unlock()
+					if stillSame {
+						t.Error("live cell points at freed node")
+						h.Unpin()
+						return
+					}
+				}
+				h.Unpin()
+				if i%256 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	fin := d.Register()
+	fin.Barrier()
+	fin.Unregister()
+	s := d.Stats().Snapshot()
+	if s.Retired != writers*perWriter {
+		t.Fatalf("retired = %d, want %d", s.Retired, writers*perWriter)
+	}
+	if s.Unreclaimed != 0 {
+		t.Fatalf("unreclaimed = %d after global barrier, want 0", s.Unreclaimed)
+	}
+}

@@ -1,0 +1,219 @@
+// Package hp implements hazard pointers (Michael 2002/2004), Algorithm 1 of
+// the paper: per-pointer Shields, validated protection (ProtectFrom), batch
+// Retire, and shield-scanning Reclaim.
+//
+// HP is both a baseline scheme in the evaluation and the fine-grained half
+// of HP-RCU/HP-BRCU, which reuse Shield and Reclaim unchanged and only
+// re-implement Retire (two-step retirement, Algorithm 4).
+//
+// Go's sync/atomic operations are sequentially consistent, which provides
+// the fence(SC) required between publishing a protection and re-reading the
+// source for validation (Algorithm 1 line 7) and between taking the retired
+// list and scanning shields (line 13).
+package hp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/registry"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// DefaultScanThreshold is the per-thread retired-node count that triggers a
+// reclamation pass. The paper's evaluation triggers reclamation per 128
+// retirements for all schemes (§6).
+const DefaultScanThreshold = 128
+
+// Domain owns the shield registry and reclamation statistics for one data
+// structure instance.
+type Domain struct {
+	scanThreshold int
+	rec           *stats.Reclamation
+
+	handles registry.Registry[Handle]
+
+	// orphans holds retired nodes abandoned by unregistered handles.
+	orphanMu sync.Mutex
+	orphans  []alloc.Retired
+}
+
+// Option configures a Domain.
+type Option func(*Domain)
+
+// WithScanThreshold overrides the per-thread retire batch size.
+func WithScanThreshold(n int) Option {
+	return func(d *Domain) {
+		if n > 0 {
+			d.scanThreshold = n
+		}
+	}
+}
+
+// NewDomain creates a hazard-pointer domain reporting into rec. A nil rec
+// allocates a private one.
+func NewDomain(rec *stats.Reclamation, opts ...Option) *Domain {
+	if rec == nil {
+		rec = &stats.Reclamation{}
+	}
+	d := &Domain{scanThreshold: DefaultScanThreshold, rec: rec}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Stats returns the domain's reclamation statistics.
+func (d *Domain) Stats() *stats.Reclamation { return d.rec }
+
+// Handle is a thread's participation record. Handles are not safe for
+// concurrent use; each worker registers its own.
+type Handle struct {
+	d       *Domain
+	shields atomic.Pointer[[]*Shield] // owner appends; reclaimers scan
+	retired []alloc.Retired
+	scratch map[uint64]int // reused protected-slot multiset keyed by slot
+}
+
+// Register adds a thread to the domain.
+func (d *Domain) Register() *Handle {
+	h := &Handle{d: d, scratch: make(map[uint64]int)}
+	empty := []*Shield{}
+	h.shields.Store(&empty)
+	d.handles.Add(h)
+	return h
+}
+
+// Unregister removes the thread. Its shields are cleared and any still
+// pending retired nodes are handed to the domain for later reclamation.
+func (h *Handle) Unregister() {
+	for _, s := range *h.shields.Load() {
+		s.Clear()
+	}
+	d := h.d
+	if len(h.retired) > 0 {
+		d.orphanMu.Lock()
+		d.orphans = append(d.orphans, h.retired...)
+		d.orphanMu.Unlock()
+		h.retired = nil
+	}
+	d.handles.Remove(h)
+}
+
+// Shield is a single protection slot for a node (Algorithm 1). The zero
+// value protects nothing.
+type Shield struct {
+	slot atomic.Uint64
+}
+
+// NewShield creates and registers a shield owned by h.
+func (h *Handle) NewShield() *Shield {
+	s := &Shield{}
+	old := *h.shields.Load()
+	next := make([]*Shield, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	h.shields.Store(&next) // owner-only write; reclaimers read the snapshot
+	return s
+}
+
+// Protect publishes protection of the node referred to by r (tag bits are
+// ignored). The protection is not validated; see ProtectFrom.
+func (s *Shield) Protect(r atomicx.Ref) { s.slot.Store(r.Slot()) }
+
+// ProtectSlot publishes protection of a raw slot index.
+func (s *Shield) ProtectSlot(slot uint64) { s.slot.Store(slot) }
+
+// Clear removes the protection.
+func (s *Shield) Clear() { s.slot.Store(0) }
+
+// Get returns the currently protected slot (0 when clear).
+func (s *Shield) Get() uint64 { return s.slot.Load() }
+
+// ProtectFrom loads a reference from src, protects it, and validates that
+// src still holds the same reference (Algorithm 1, ProtectFrom). On return
+// the referent — if non-nil — was reachable from src after the protection
+// was published and therefore cannot be reclaimed while the shield holds.
+//
+// The returned reference is the validated value of src, tag bits included.
+func ProtectFrom(s *Shield, src *atomicx.AtomicRef) atomicx.Ref {
+	r := src.Load()
+	for {
+		s.Protect(r) // SC store; no explicit fence needed in Go
+		v := src.Load()
+		if v == r {
+			return r
+		}
+		r = v
+	}
+}
+
+// Retire schedules the node for reclamation once no shield protects it.
+// Reclamation runs inline when the thread's batch reaches the scan
+// threshold.
+func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
+	h.d.rec.Retired.Inc()
+	h.d.rec.Unreclaimed.Add(1)
+	h.retired = append(h.retired, alloc.Retired{Slot: slot, Pool: pool})
+	if len(h.retired) >= h.d.scanThreshold {
+		h.Reclaim()
+	}
+}
+
+// RetireNoCount appends a node to the batch without touching the
+// Retired/Unreclaimed statistics. HP-RCU/HP-BRCU count a node as retired at
+// the two-step Retire (the RCU defer), not at the inner HP-Retire; this
+// entry point lets them avoid double counting.
+func (h *Handle) RetireNoCount(slot uint64, pool alloc.Freer) {
+	h.retired = append(h.retired, alloc.Retired{Slot: slot, Pool: pool})
+	if len(h.retired) >= h.d.scanThreshold {
+		h.Reclaim()
+	}
+}
+
+// Reclaim scans all shields and frees every retired node that is not
+// protected (Algorithm 1, Reclaim). Unprotected orphans from unregistered
+// threads are adopted and freed too.
+func (h *Handle) Reclaim() {
+	d := h.d
+
+	d.orphanMu.Lock()
+	if len(d.orphans) > 0 {
+		h.retired = append(h.retired, d.orphans...)
+		d.orphans = nil
+	}
+	d.orphanMu.Unlock()
+
+	// Snapshot every shield. SC loads order this scan after the retire
+	// batch was taken, matching Algorithm 1 line 13's fence.
+	protected := h.scratch
+	clear(protected)
+	for _, other := range d.handles.Snapshot() {
+		for _, s := range *other.shields.Load() {
+			if slot := s.Get(); slot != 0 {
+				protected[slot]++
+			}
+		}
+	}
+
+	kept := h.retired[:0]
+	freed := int64(0)
+	for _, r := range h.retired {
+		if _, ok := protected[r.Slot]; ok {
+			kept = append(kept, r)
+			continue
+		}
+		r.Pool.FreeSlot(r.Slot)
+		freed++
+	}
+	h.retired = kept
+	if freed > 0 {
+		d.rec.Reclaimed.Add(freed)
+		d.rec.Unreclaimed.Add(-freed)
+	}
+}
+
+// PendingRetired reports the number of nodes this handle is still holding.
+func (h *Handle) PendingRetired() int { return len(h.retired) }

@@ -1,0 +1,219 @@
+package hp
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+)
+
+type node struct {
+	key  int64
+	next atomicx.AtomicRef
+}
+
+func TestShieldBlocksReclamation(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(1)) // reclaim on every retire
+	h := d.Register()
+	defer h.Unregister()
+
+	slot, _ := pool.Alloc(cache)
+	s := h.NewShield()
+	s.ProtectSlot(slot)
+
+	pool.Hdr(slot).Retire()
+	h.Retire(slot, pool)
+
+	if pool.Hdr(slot).State() == alloc.StateFree {
+		t.Fatal("protected node was reclaimed")
+	}
+	if d.Stats().Unreclaimed.Load() != 1 {
+		t.Fatalf("unreclaimed = %d, want 1", d.Stats().Unreclaimed.Load())
+	}
+
+	s.Clear()
+	h.Reclaim()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("unprotected node must be reclaimed")
+	}
+	if d.Stats().Unreclaimed.Load() != 0 {
+		t.Fatalf("unreclaimed = %d, want 0", d.Stats().Unreclaimed.Load())
+	}
+}
+
+func TestCrossThreadShieldVisible(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(1))
+	reader := d.Register()
+	reclaimer := d.Register()
+	defer reader.Unregister()
+	defer reclaimer.Unregister()
+
+	slot, _ := pool.Alloc(cache)
+	s := reader.NewShield()
+	s.ProtectSlot(slot)
+
+	pool.Hdr(slot).Retire()
+	reclaimer.Retire(slot, pool)
+	if pool.Hdr(slot).State() == alloc.StateFree {
+		t.Fatal("another thread's shield was ignored")
+	}
+	s.Clear()
+	reclaimer.Reclaim()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("node not reclaimed after shield cleared")
+	}
+}
+
+func TestProtectFromValidates(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil)
+	h := d.Register()
+	defer h.Unregister()
+
+	slot, n := pool.Alloc(cache)
+	n.key = 7
+	var src atomicx.AtomicRef
+	src.Store(atomicx.MakeRef(slot, 0))
+
+	s := h.NewShield()
+	r := ProtectFrom(s, &src)
+	if r.Slot() != slot {
+		t.Fatalf("ProtectFrom returned slot %d, want %d", r.Slot(), slot)
+	}
+	if s.Get() != slot {
+		t.Fatal("shield does not hold the protected slot")
+	}
+}
+
+// TestProtectFromRace exercises the protect/retire race: a writer keeps
+// replacing the node behind src and retiring the old one; readers use
+// ProtectFrom and must never observe a freed node.
+func TestProtectFromRace(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	d := NewDomain(nil, WithScanThreshold(4))
+
+	var src atomicx.AtomicRef
+	{
+		c := pool.NewCache()
+		slot, n := pool.Alloc(c)
+		n.key = 0
+		src.Store(atomicx.MakeRef(slot, 0))
+	}
+
+	const iters = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			defer h.Unregister()
+			s := h.NewShield()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ref := ProtectFrom(s, &src)
+				st := pool.Hdr(ref.Slot()).State()
+				if st == alloc.StateFree {
+					t.Error("validated protection points at a freed node")
+					return
+				}
+				s.Clear()
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := d.Register()
+		defer h.Unregister()
+		c := pool.NewCache()
+		for i := 1; i <= iters; i++ {
+			slot, n := pool.Alloc(c)
+			n.key = int64(i)
+			old := src.Swap(atomicx.MakeRef(slot, 0))
+			pool.Hdr(old.Slot()).Retire()
+			h.Retire(old.Slot(), pool)
+		}
+		close(stop)
+	}()
+
+	wg.Wait()
+}
+
+func TestOrphanAdoption(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(1000)) // keep batches local
+	h1 := d.Register()
+
+	slot, _ := pool.Alloc(cache)
+	pool.Hdr(slot).Retire()
+	h1.Retire(slot, pool)
+	h1.Unregister() // leaves the retired node as an orphan
+
+	h2 := d.Register()
+	defer h2.Unregister()
+	h2.Reclaim()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("orphan was not adopted and reclaimed")
+	}
+}
+
+func TestScanThresholdTriggersReclaim(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(8))
+	h := d.Register()
+	defer h.Unregister()
+
+	for i := 0; i < 8; i++ {
+		slot, _ := pool.Alloc(cache)
+		pool.Hdr(slot).Retire()
+		h.Retire(slot, pool)
+	}
+	if got := d.Stats().Reclaimed.Load(); got != 8 {
+		t.Fatalf("reclaimed = %d, want 8 (batch threshold must trigger scan)", got)
+	}
+	if h.PendingRetired() != 0 {
+		t.Fatalf("pending = %d, want 0", h.PendingRetired())
+	}
+}
+
+func TestDoubleShieldSameSlot(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(1))
+	h := d.Register()
+	defer h.Unregister()
+
+	slot, _ := pool.Alloc(cache)
+	s1, s2 := h.NewShield(), h.NewShield()
+	s1.ProtectSlot(slot)
+	s2.ProtectSlot(slot)
+
+	pool.Hdr(slot).Retire()
+	h.Retire(slot, pool)
+	s1.Clear()
+	h.Reclaim()
+	if pool.Hdr(slot).State() == alloc.StateFree {
+		t.Fatal("node freed while second shield still protects it")
+	}
+	s2.Clear()
+	h.Reclaim()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("node not freed after all shields cleared")
+	}
+}

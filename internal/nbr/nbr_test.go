@@ -1,0 +1,217 @@
+package nbr
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+)
+
+type node struct{ key int64 }
+
+func retireOne(t *testing.T, pool *alloc.Pool[node], cache *alloc.Cache[node], h *Handle) uint64 {
+	t.Helper()
+	slot, _ := pool.Alloc(cache)
+	pool.Hdr(slot).Retire()
+	h.Retire(slot, pool)
+	return slot
+}
+
+func TestBroadcastNeutralizesReaders(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	reader := d.Register()
+	reclaimer := d.Register()
+	defer reclaimer.Unregister()
+
+	reader.StartRead()
+	slot := retireOne(t, pool, cache, reclaimer) // batch=1 → broadcast
+	if reader.Poll() {
+		t.Fatal("reader must be neutralized by the broadcast")
+	}
+	if d.Stats().Signals.Load() == 0 {
+		t.Fatal("no signal recorded")
+	}
+	// The node was retired before the broadcast? No: stamped with the
+	// pre-broadcast seq, then broadcast bumped seq — freeable immediately.
+	_ = slot
+	retireOne(t, pool, cache, reclaimer)
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("old unreserved node must be freed after a broadcast")
+	}
+	reader.StartRead() // restart absorbs the neutralization
+	if !reader.Poll() {
+		t.Fatal("restart must clear the neutralization")
+	}
+	if !reader.EndRead() {
+		t.Fatal("EndRead must succeed when not neutralized")
+	}
+	reader.Unregister()
+}
+
+func TestReservationBlocksFree(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	reader := d.Register()
+	reclaimer := d.Register()
+	defer reclaimer.Unregister()
+
+	reader.StartRead()
+	slot, _ := pool.Alloc(cache)
+	reader.Reserve(0, slot)
+	if !reader.EnterWrite() {
+		t.Fatal("EnterWrite must succeed before any broadcast")
+	}
+
+	pool.Hdr(slot).Retire()
+	reclaimer.Retire(slot, pool)
+	for i := 0; i < 5; i++ {
+		retireOne(t, pool, cache, reclaimer)
+	}
+	if pool.Hdr(slot).State() == alloc.StateFree {
+		t.Fatal("reserved node was freed")
+	}
+	reader.EndOp()
+	reader.ClearReservations()
+	reclaimer.Barrier()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("node not freed after reservation cleared")
+	}
+	reader.Unregister()
+}
+
+func TestEnterWriteFailsAfterNeutralization(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	reader := d.Register()
+	reclaimer := d.Register()
+	defer reclaimer.Unregister()
+
+	reader.StartRead()
+	retireOne(t, pool, cache, reclaimer) // broadcast
+	if reader.EnterWrite() {
+		t.Fatal("EnterWrite must fail after neutralization")
+	}
+	if reader.EndRead() {
+		t.Fatal("EndRead must fail after neutralization")
+	}
+	reader.RecordRestart()
+	reader.StartRead()
+	if !reader.EnterWrite() {
+		t.Fatal("EnterWrite must succeed after restart")
+	}
+	reader.EndOp()
+	reader.Unregister()
+}
+
+func TestWritePhaseNotAborted(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(1))
+	writer := d.Register()
+	reclaimer := d.Register()
+	defer reclaimer.Unregister()
+
+	writer.StartRead()
+	if !writer.EnterWrite() {
+		t.Fatal("EnterWrite failed")
+	}
+	retireOne(t, pool, cache, reclaimer) // broadcast
+	if writer.status.Load() != phaseWrite {
+		t.Fatal("write phase must not be neutralized")
+	}
+	writer.EndOp()
+	writer.Unregister()
+}
+
+// TestPiggybacking: with NBR+ piggybacking, a second reclaimer whose whole
+// batch predates the first reclaimer's broadcast sends no signals of its
+// own.
+func TestPiggybacking(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cacheA := pool.NewCache()
+	cacheB := pool.NewCache()
+	d := NewDomain(nil, WithBatchSize(2))
+	a := d.Register()
+	b := d.Register()
+	other := d.Register()
+	defer a.Unregister()
+	defer b.Unregister()
+	defer other.Unregister()
+
+	// Both accumulate one record at seq 0.
+	retireOne(t, pool, cacheA, a)
+	retireOne(t, pool, cacheB, b)
+
+	// a fills its batch: broadcasts (seq 0 → 1).
+	other.StartRead()
+	retireOne(t, pool, cacheA, a)
+	sig := d.Stats().Signals.Load()
+	if sig == 0 {
+		t.Fatal("first reclaimer must broadcast")
+	}
+
+	// b fills its batch with a *pre-broadcast* record plus one new one
+	// stamped seq 1... the new one forces a broadcast, so stamp both
+	// before: use a batch of exactly the old record by lowering: retire
+	// one more immediately after a's broadcast but before any new seq.
+	// Its stamp (1) >= seq(1) forces broadcast; to observe piggybacking we
+	// need b's records all stamped < 1. b already has one from seq 0 and
+	// needs a second: impossible without a new stamp — so check the other
+	// direction: b broadcasting again is allowed, but if we drain b via
+	// reclaim with only the old record (batch not full), no broadcast
+	// happens. Exercise via Barrier-free path:
+	b.reclaim()
+	if got := d.Stats().Signals.Load(); got != sig {
+		t.Fatalf("piggybacking violated: signals went %d -> %d with an all-old batch", sig, got)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	d := NewDomain(nil, WithBatchSize(8))
+	const writers = 3
+	const perWriter = 3000
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Register()
+			defer h.Unregister()
+			c := pool.NewCache()
+			for i := 0; i < perWriter; i++ {
+				// A tiny op: read phase, then write phase that retires.
+				for {
+					h.StartRead()
+					slot, _ := pool.Alloc(c)
+					h.Reserve(0, slot)
+					if !h.EnterWrite() {
+						h.RecordRestart()
+						pool.Hdr(slot).Retire()
+						pool.FreeLocal(c, slot)
+						continue
+					}
+					pool.Hdr(slot).Retire()
+					h.Retire(slot, pool)
+					h.EndOp()
+					h.ClearReservations()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	fin := d.Register()
+	fin.Barrier()
+	fin.Unregister()
+	s := d.Stats().Snapshot()
+	if s.Unreclaimed != 0 {
+		t.Fatalf("unreclaimed = %d (retired=%d reclaimed=%d)", s.Unreclaimed, s.Retired, s.Reclaimed)
+	}
+}

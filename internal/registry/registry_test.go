@@ -1,0 +1,72 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+)
+
+type member struct{ id int }
+
+func TestAddRemoveSnapshot(t *testing.T) {
+	var r Registry[member]
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("zero registry must be empty")
+	}
+	a, b, c := &member{1}, &member{2}, &member{3}
+	r.Add(a)
+	r.Add(b)
+	r.Add(c)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	r.Remove(b)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0] != a || snap[1] != c {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Removing an absent member is a no-op.
+	r.Remove(b)
+	if r.Len() != 2 {
+		t.Fatal("remove of absent member changed membership")
+	}
+}
+
+func TestSnapshotImmutableUnderMutation(t *testing.T) {
+	var r Registry[member]
+	a, b := &member{1}, &member{2}
+	r.Add(a)
+	snap := r.Snapshot()
+	r.Add(b)
+	r.Remove(a)
+	if len(snap) != 1 || snap[0] != a {
+		t.Fatal("an earlier snapshot changed after mutation")
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	var r Registry[member]
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m := &member{i}
+				r.Add(m)
+				// Concurrent readers must always see a consistent slice.
+				for _, e := range r.Snapshot() {
+					if e == nil {
+						t.Error("nil member in snapshot")
+						return
+					}
+				}
+				r.Remove(m)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after balanced add/remove", r.Len())
+	}
+}

@@ -1,0 +1,126 @@
+// Package stats provides the counters and high-watermark gauges used to
+// report the paper's memory metric: the peak number of retired yet
+// unreclaimed blocks (Figures 1b, 6b, 7 right column, and the appendix
+// grids). Counters are deliberately simple atomics — every update site in
+// this repository is already amortized over a retire batch, so sharding
+// would only obscure the numbers.
+package stats
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge tracks a signed level together with the highest level ever
+// observed. It is used for the retired-but-unreclaimed block count: Retire
+// adds, reclamation subtracts, and Peak reports the paper's metric.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Add moves the gauge by delta and updates the recorded peak.
+func (g *Gauge) Add(delta int64) {
+	v := g.cur.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.cur.Load() }
+
+// Peak returns the highest level observed since the last Reset.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Reset zeroes both the level and the peak.
+func (g *Gauge) Reset() {
+	g.cur.Store(0)
+	g.peak.Store(0)
+}
+
+// ResetPeak re-bases the peak at the current level, keeping the level
+// itself. Benchmarks call this after prefilling so that the reported peak
+// reflects only the measured interval.
+func (g *Gauge) ResetPeak() {
+	g.peak.Store(g.cur.Load())
+}
+
+// Reclamation aggregates the reclamation-related event counts a scheme
+// exposes. All schemes share this shape so the benchmark harness can print
+// uniform rows.
+type Reclamation struct {
+	// Retired counts nodes handed to the scheme for eventual reclamation.
+	Retired Counter
+	// Reclaimed counts nodes actually returned to the allocator.
+	Reclaimed Counter
+	// Unreclaimed tracks retired-not-yet-reclaimed nodes and their peak.
+	Unreclaimed Gauge
+	// Signals counts neutralization requests sent (BRCU/NBR only).
+	Signals Counter
+	// Rollbacks counts critical-section rollbacks taken (BRCU) or
+	// operation restarts forced by neutralization (NBR).
+	Rollbacks Counter
+	// EpochAdvances counts successful global epoch advances.
+	EpochAdvances Counter
+	// ForcedAdvances counts epoch advances that required signalling.
+	ForcedAdvances Counter
+}
+
+// Snapshot is a point-in-time copy of a Reclamation, safe to compare and
+// print after the workers have stopped.
+type Snapshot struct {
+	Retired         int64
+	Reclaimed       int64
+	Unreclaimed     int64
+	PeakUnreclaimed int64
+	Signals         int64
+	Rollbacks       int64
+	EpochAdvances   int64
+	ForcedAdvances  int64
+}
+
+// Snapshot captures the current values.
+func (r *Reclamation) Snapshot() Snapshot {
+	return Snapshot{
+		Retired:         r.Retired.Load(),
+		Reclaimed:       r.Reclaimed.Load(),
+		Unreclaimed:     r.Unreclaimed.Load(),
+		PeakUnreclaimed: r.Unreclaimed.Peak(),
+		Signals:         r.Signals.Load(),
+		Rollbacks:       r.Rollbacks.Load(),
+		EpochAdvances:   r.EpochAdvances.Load(),
+		ForcedAdvances:  r.ForcedAdvances.Load(),
+	}
+}
+
+// Reset zeroes every counter and gauge.
+func (r *Reclamation) Reset() {
+	r.Retired.Reset()
+	r.Reclaimed.Reset()
+	r.Unreclaimed.Reset()
+	r.Signals.Reset()
+	r.Rollbacks.Reset()
+	r.EpochAdvances.Reset()
+	r.ForcedAdvances.Reset()
+}

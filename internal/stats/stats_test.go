@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestGaugePeak(t *testing.T) {
+	var g Gauge
+	g.Add(10)
+	g.Add(-4)
+	g.Add(3)
+	if g.Load() != 9 {
+		t.Fatalf("level = %d, want 9", g.Load())
+	}
+	if g.Peak() != 10 {
+		t.Fatalf("peak = %d, want 10", g.Peak())
+	}
+	g.ResetPeak()
+	if g.Peak() != 9 {
+		t.Fatalf("peak after ResetPeak = %d, want 9", g.Peak())
+	}
+	g.Add(100)
+	if g.Peak() != 109 {
+		t.Fatalf("peak = %d, want 109", g.Peak())
+	}
+}
+
+// TestGaugePeakIsMaxPrefix checks the defining property: the peak equals
+// the maximum prefix sum of the applied deltas.
+func TestGaugePeakIsMaxPrefix(t *testing.T) {
+	f := func(deltas []int8) bool {
+		var g Gauge
+		var sum, max int64
+		for _, d := range deltas {
+			g.Add(int64(d))
+			sum += int64(d)
+			if sum > max {
+				max = sum
+			}
+		}
+		return g.Load() == sum && g.Peak() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaugeConcurrentPeakNeverBelowFinal(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Load() != 80000 {
+		t.Fatalf("level = %d, want 80000", g.Load())
+	}
+	if g.Peak() != 80000 {
+		t.Fatalf("peak = %d, want 80000 (monotone increments)", g.Peak())
+	}
+}
+
+func TestReclamationSnapshot(t *testing.T) {
+	var r Reclamation
+	r.Retired.Add(10)
+	r.Unreclaimed.Add(10)
+	r.Unreclaimed.Add(-3)
+	r.Reclaimed.Add(3)
+	r.Signals.Inc()
+	s := r.Snapshot()
+	if s.Retired != 10 || s.Reclaimed != 3 || s.Unreclaimed != 7 || s.PeakUnreclaimed != 10 || s.Signals != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	r.Reset()
+	if s2 := r.Snapshot(); s2.Retired != 0 || s2.PeakUnreclaimed != 0 {
+		t.Fatalf("after reset: %+v", s2)
+	}
+}

@@ -1,0 +1,181 @@
+package vbr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestWordPacking(t *testing.T) {
+	cases := []struct {
+		succ, ver uint64
+		tag       uint8
+	}{
+		{0, 0, 0}, {1, 1, 1}, {42, 7, 0}, {1 << 31, verMask, 1}, {12345, 99999, 1},
+	}
+	for _, c := range cases {
+		w := makeWord(c.succ, c.ver, c.tag)
+		if w.succ() != c.succ || w.ownVer() != c.ver&verMask || w.tag() != c.tag {
+			t.Fatalf("pack(%d,%d,%d) -> (%d,%d,%d)", c.succ, c.ver, c.tag, w.succ(), w.ownVer(), w.tag())
+		}
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	l := New()
+	h := l.Register()
+	defer h.Unregister()
+
+	if _, ok := h.Get(1); ok {
+		t.Fatal("empty list contains 1")
+	}
+	if !h.Insert(2, 20) || !h.Insert(1, 10) || !h.Insert(3, 30) {
+		t.Fatal("inserts failed")
+	}
+	if h.Insert(2, 21) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if v, ok := h.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2)=%d,%v", v, ok)
+	}
+	if v, ok := h.Remove(2); !ok || v != 20 {
+		t.Fatalf("Remove(2)=%d,%v", v, ok)
+	}
+	if _, ok := h.Get(2); ok {
+		t.Fatal("removed key present")
+	}
+	if l.LenSlow() != 2 {
+		t.Fatalf("len=%d", l.LenSlow())
+	}
+	// Immediate reclamation: the removed node is already free.
+	s := l.Stats().Snapshot()
+	if s.Retired != 1 || s.Reclaimed != 1 || s.Unreclaimed != 0 {
+		t.Fatalf("stats=%+v: VBR must reclaim at retirement", s)
+	}
+	// Reuse: the freed slot comes back with a new version.
+	if !h.Insert(2, 22) {
+		t.Fatal("re-insert failed")
+	}
+	if v, _ := h.Get(2); v != 22 {
+		t.Fatalf("Get(2)=%d want 22", v)
+	}
+}
+
+func TestSequentialBulk(t *testing.T) {
+	l := New()
+	h := l.Register()
+	defer h.Unregister()
+	const n = 600
+	perm := rand.New(rand.NewSource(2)).Perm(n)
+	for _, k := range perm {
+		if !h.Insert(int64(k), int64(k)) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if _, ok := h.Remove(int64(i)); !ok {
+			t.Fatalf("remove %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := i%2 == 1
+		if _, ok := h.Get(int64(i)); ok != want {
+			t.Fatalf("Get(%d)=%v", i, ok)
+		}
+	}
+	keys := l.KeysSlow()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("unsorted: %v", keys)
+		}
+	}
+}
+
+func TestConcurrentContended(t *testing.T) {
+	l := New()
+	const workers = 8
+	const iters = 800
+	const keys = 8
+	var ins, rem [keys]int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := l.Register()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			var mi, mr [keys]int64
+			for i := 0; i < iters; i++ {
+				k := rng.Int63n(keys)
+				switch rng.Intn(3) {
+				case 0:
+					if h.Insert(k, k) {
+						mi[k]++
+					}
+				case 1:
+					if _, ok := h.Remove(k); ok {
+						mr[k]++
+					}
+				default:
+					h.Get(k)
+				}
+			}
+			mu.Lock()
+			for i := range ins {
+				ins[i] += mi[i]
+				rem[i] += mr[i]
+			}
+			mu.Unlock()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	h := l.Register()
+	defer h.Unregister()
+	for k := int64(0); k < keys; k++ {
+		_, present := h.Get(k)
+		diff := ins[k] - rem[k]
+		if diff != 0 && diff != 1 {
+			t.Fatalf("key %d: diff=%d", k, diff)
+		}
+		if present != (diff == 1) {
+			t.Fatalf("key %d: present=%v diff=%d", k, present, diff)
+		}
+	}
+	// VBR's footprint: everything reclaimed the moment it was retired.
+	s := l.Stats().Snapshot()
+	if s.Unreclaimed != 0 {
+		t.Fatalf("unreclaimed=%d, VBR must not defer", s.Unreclaimed)
+	}
+	if s.PeakUnreclaimed > 1*workers {
+		t.Fatalf("peak=%d, want <= transient %d", s.PeakUnreclaimed, workers)
+	}
+}
+
+// TestHeavyReuse hammers a tiny key space so slots recycle constantly,
+// exercising the version-conflict restart paths.
+func TestHeavyReuse(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := l.Register()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				k := rng.Int63n(2)
+				h.Insert(k, k)
+				h.Remove(k)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if got := l.LenSlow(); got < 0 || got > 2 {
+		t.Fatalf("len=%d", got)
+	}
+	t.Logf("retired=%d rollbacks=%d", l.Stats().Retired.Load(), l.Stats().Rollbacks.Load())
+}

@@ -1,0 +1,225 @@
+package hpbrcu
+
+import (
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/ds/hashmap"
+	"github.com/smrgo/hpbrcu/internal/ds/hlist"
+	"github.com/smrgo/hpbrcu/internal/ds/hmlist"
+	"github.com/smrgo/hpbrcu/internal/ds/nmtree"
+	"github.com/smrgo/hpbrcu/internal/ds/skiplist"
+	"github.com/smrgo/hpbrcu/internal/ebr"
+	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/nbr"
+	"github.com/smrgo/hpbrcu/internal/stats"
+	"github.com/smrgo/hpbrcu/internal/vbr"
+)
+
+// mapImpl adapts a data-structure variant to the Map interface.
+type mapImpl struct {
+	scheme Scheme
+	reg    func() MapHandle
+	st     func() *stats.Reclamation
+	dom    *core.Domain // non-nil for HP-RCU/HP-BRCU maps
+}
+
+func (m *mapImpl) Register() MapHandle { return m.reg() }
+func (m *mapImpl) Stats() *Stats       { return m.st() }
+func (m *mapImpl) Scheme() Scheme      { return m.scheme }
+
+// withDomain records the HP-(B)RCU domain for GarbageBound.
+func (m *mapImpl) withDomain(d *core.Domain) *mapImpl {
+	m.dom = d
+	return m
+}
+
+// optimisticHandle swaps Get for the wait-free-style optimistic get
+// (HHSList semantics).
+type optimisticHandle interface {
+	MapHandle
+	GetOptimistic(key int64) (int64, bool)
+}
+
+type optimisticAsGet struct{ optimisticHandle }
+
+func (h optimisticAsGet) Get(key int64) (int64, bool) { return h.GetOptimistic(key) }
+
+func (c Config) ebrOpts() []ebr.Option {
+	return []ebr.Option{ebr.WithBatchSize(c.BatchSize)}
+}
+
+func (c Config) hpOpts() []hp.Option {
+	return []hp.Option{hp.WithScanThreshold(c.BatchSize)}
+}
+
+func (c Config) nbrOpts(large bool) []nbr.Option {
+	if large {
+		return []nbr.Option{nbr.WithBatchSize(nbr.LargeBatchSize)}
+	}
+	return []nbr.Option{nbr.WithBatchSize(c.BatchSize)}
+}
+
+// NewHList creates Harris's linked list [Harris 2001] (optimistic
+// traversal; gets help with run excision). Supported schemes: NR, RCU,
+// NBR(-Large), HP-RCU, HP-BRCU. Plain HP does not apply (Figure 2).
+func NewHList(s Scheme, cfg Config) (Map, error) {
+	return newHarrisList(s, cfg, false)
+}
+
+// NewHHSList creates the paper's HHSList: Harris's list whose get is the
+// Herlihy-Shavit wait-free-style contains (no helping). Same scheme
+// support as NewHList.
+func NewHHSList(s Scheme, cfg Config) (Map, error) {
+	return newHarrisList(s, cfg, true)
+}
+
+func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
+	wrap := func(reg func() optimisticHandle) func() MapHandle {
+		if optimisticGet {
+			return func() MapHandle { return optimisticAsGet{reg()} }
+		}
+		return func() MapHandle { return reg() }
+	}
+	switch s {
+	case NR:
+		l := hlist.NewNR()
+		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+	case RCU:
+		l := hlist.NewEBR(cfg.ebrOpts()...)
+		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+	case NBR, NBRLarge:
+		l := hlist.NewNBR(cfg.nbrOpts(s == NBRLarge)...)
+		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+	case HPRCU:
+		l := hlist.NewHPRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain()), nil
+	case HPBRCU:
+		l := hlist.NewHPBRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain()), nil
+	case VBR:
+		l := vbr.New()
+		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+	}
+	name := "HList"
+	if optimisticGet {
+		name = "HHSList"
+	}
+	return nil, &ErrUnsupported{Structure: name, Scheme: s}
+}
+
+// NewHMList creates the Harris-Michael linked list [Michael 2002]
+// (helping during traversal). Supported schemes: NR, RCU, HP, HP-RCU,
+// HP-BRCU. NBR does not apply (Table 1): the traversal performs writes.
+func NewHMList(s Scheme, cfg Config) (Map, error) {
+	switch s {
+	case NR:
+		l := hmlist.NewNR()
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case RCU:
+		l := hmlist.NewEBR(cfg.ebrOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case HP:
+		l := hmlist.NewHP(cfg.hpOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case HPRCU:
+		l := hmlist.NewHPRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+	case HPBRCU:
+		l := hmlist.NewHPBRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+	}
+	return nil, &ErrUnsupported{Structure: "HMList", Scheme: s}
+}
+
+// NewHashMap creates the paper's chaining hash table (§6): buckets are
+// HMList under plain HP and HHSList under every other scheme. All schemes
+// are supported.
+func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
+	if buckets < 1 {
+		buckets = 1
+	}
+	switch s {
+	case NR:
+		m := hashmap.NewNR(buckets)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+	case RCU:
+		m := hashmap.NewEBR(buckets, cfg.ebrOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+	case HP:
+		m := hashmap.NewHP(buckets, cfg.hpOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+	case NBR, NBRLarge:
+		m := hashmap.NewNBR(buckets, cfg.nbrOpts(s == NBRLarge)...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+	case HPRCU:
+		m := hashmap.NewHPRCU(buckets, cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain()), nil
+	case HPBRCU:
+		m := hashmap.NewHPBRCU(buckets, cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain()), nil
+	case VBR:
+		m := hashmap.NewVBR(buckets)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+	}
+	return nil, &ErrUnsupported{Structure: "HashMap", Scheme: s}
+}
+
+// DefaultBuckets sizes a hash map for a key range at the paper's chain
+// length (~1.7 at 50% fill).
+func DefaultBuckets(keyRange int64) int { return hashmap.DefaultBucketsFor(keyRange) }
+
+// NewSkipList creates the Herlihy-Shavit lock-free skip list. Supported
+// schemes: NR, RCU, HP (helping get only), HP-RCU, HP-BRCU (wait-free-
+// style get for all non-HP schemes). NBR does not apply (Table 1).
+func NewSkipList(s Scheme, cfg Config) (Map, error) {
+	switch s {
+	case NR:
+		l := skiplist.NewNR()
+		return &mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}, nil
+	case RCU:
+		l := skiplist.NewEBR(cfg.ebrOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}, nil
+	case HP:
+		l := skiplist.NewHP(cfg.hpOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case HPRCU:
+		l := skiplist.NewHPRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain()), nil
+	case HPBRCU:
+		l := skiplist.NewHPBRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain()), nil
+	}
+	return nil, &ErrUnsupported{Structure: "SkipList", Scheme: s}
+}
+
+// NewNMTree creates the Natarajan-Mittal lock-free external BST.
+// Supported schemes: NR, RCU, NBR(-Large), HP-RCU, HP-BRCU. Plain HP does
+// not apply (Table 1).
+func NewNMTree(s Scheme, cfg Config) (Map, error) {
+	switch s {
+	case NR:
+		l := nmtree.NewNR()
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case RCU:
+		l := nmtree.NewEBR(cfg.ebrOpts()...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case NBR, NBRLarge:
+		l := nmtree.NewNBR(cfg.nbrOpts(s == NBRLarge)...)
+		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+	case HPRCU:
+		l := nmtree.NewHPRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+	case HPBRCU:
+		l := nmtree.NewHPBRCU(cfg.CoreConfig())
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+	}
+	return nil, &ErrUnsupported{Structure: "NMTree", Scheme: s}
+}
+
+// GarbageBound returns the §5 robustness bound 2GN+GN²+H for an HP-BRCU
+// map, or -1 when m is not HP-BRCU-backed or the bound is unavailable.
+func GarbageBound(m Map, shields int) int64 {
+	if impl, ok := m.(*mapImpl); ok && impl.dom != nil {
+		return impl.dom.GarbageBound(shields)
+	}
+	return -1
+}

@@ -1,0 +1,170 @@
+// Package hpbrcu is a Go implementation of the memory-reclamation schemes
+// from "Expediting Hazard Pointers with Bounded RCU Critical Sections"
+// (Kim, Jung, Kang — SPAA 2024), together with the concurrent data
+// structures and baselines of the paper's evaluation.
+//
+// The headline schemes are:
+//
+//   - HP-RCU (§3): hazard pointers whose traversals are expedited by RCU
+//     critical sections — most links are followed under coarse epoch
+//     protection, with the cursor periodically checkpointed into shields.
+//     Robust against long-running operations.
+//   - HP-BRCU (§4): HP-RCU with RCU replaced by Bounded RCU, which
+//     neutralizes (selectively, and only past a failure threshold) the
+//     threads that block epoch advance. Robust against stalled threads
+//     and long-running operations, while retaining RCU-like speed.
+//
+// Baselines from the paper's evaluation: NR (leak), RCU/EBR, HP, NBR(+)
+// and NBR-Large.
+//
+// # Signal substitution
+//
+// The paper aborts critical sections with POSIX signals; Go's runtime owns
+// signal handling, so this library substitutes cooperative neutralization
+// — a CAS on the victim's status word observed at bounded poll points.
+// See internal/brcu and DESIGN.md §2 for why this preserves the paper's
+// robustness and safety arguments.
+//
+// # Using the schemes with your own data structure
+//
+// Nodes live in slot-addressed pools (alloc.Pool) so links can carry mark
+// bits; a structure integrates HP-BRCU by implementing a cursor, a
+// Protector and a Validate/Step pair for the Traverse engine. See
+// examples/quickstart and the internal/ds packages.
+package hpbrcu
+
+import (
+	"fmt"
+
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Scheme identifies a safe-memory-reclamation scheme from the paper's
+// evaluation (§6).
+type Scheme int
+
+const (
+	// NR is the no-reclamation baseline: retired nodes leak.
+	NR Scheme = iota
+	// RCU is epoch-based RCU (Fraser): fast, not robust.
+	RCU
+	// HP is classic hazard pointers: robust, per-node overhead.
+	HP
+	// NBR is neutralization-based reclamation (batch 128).
+	NBR
+	// NBRLarge is NBR with the large batch threshold (8192).
+	NBRLarge
+	// HPRCU is the paper's partial solution (§3).
+	HPRCU
+	// HPBRCU is the paper's full solution (§4).
+	HPBRCU
+	// VBR is version-based reclamation (Sheffi et al.): immediate
+	// reclamation with version-validated accesses and restart-on-conflict.
+	VBR
+)
+
+// Schemes lists every scheme in presentation order.
+var Schemes = []Scheme{NR, RCU, HP, NBR, NBRLarge, VBR, HPRCU, HPBRCU}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case NR:
+		return "NR"
+	case RCU:
+		return "RCU"
+	case HP:
+		return "HP"
+	case NBR:
+		return "NBR"
+	case NBRLarge:
+		return "NBR-Large"
+	case HPRCU:
+		return "HP-RCU"
+	case HPBRCU:
+		return "HP-BRCU"
+	case VBR:
+		return "VBR"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Robust reports whether the scheme bounds the number of retired yet
+// unreclaimed nodes against stalled threads (Table 2).
+func (s Scheme) Robust() bool {
+	switch s {
+	case HP, NBR, NBRLarge, VBR, HPBRCU:
+		return true
+	}
+	return false
+}
+
+// Config tunes a scheme instance. The zero value selects the paper's
+// evaluation parameters.
+type Config struct {
+	// BackupPeriod is the HP-RCU/HP-BRCU checkpoint distance in traversal
+	// steps (default 64).
+	BackupPeriod int
+	// BatchSize is the retire/defer batch that triggers reclamation or an
+	// epoch-advance attempt (default 128; the paper's per-128-retires).
+	BatchSize int
+	// ForceThreshold is BRCU's failed-advance budget before neutralizing
+	// laggards (default 2).
+	ForceThreshold int
+}
+
+// CoreConfig lowers the public options to the internal scheme config.
+func (c Config) CoreConfig() core.Config {
+	return core.Config{
+		BackupPeriod:   c.BackupPeriod,
+		MaxLocalTasks:  c.BatchSize,
+		ForceThreshold: c.ForceThreshold,
+		ScanThreshold:  c.BatchSize,
+	}
+}
+
+// Stats is a scheme's reclamation statistics (live counters).
+type Stats = stats.Reclamation
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot = stats.Snapshot
+
+// MapHandle is a single thread's accessor to a Map. Handles are not safe
+// for concurrent use; each goroutine registers its own and should
+// Unregister when done.
+type MapHandle interface {
+	// Get returns the value mapped to key.
+	Get(key int64) (int64, bool)
+	// Insert maps key to val; it fails if key is present.
+	Insert(key, val int64) bool
+	// Remove unmaps key, returning the removed value.
+	Remove(key int64) (int64, bool)
+	// Unregister releases the handle.
+	Unregister()
+	// Barrier makes a best effort to drain this thread's deferred
+	// reclamation (teardown and tests).
+	Barrier()
+}
+
+// Map is a concurrent ordered or hashed int64→int64 map protected by one
+// of the reclamation schemes.
+type Map interface {
+	// Register creates a thread-local accessor.
+	Register() MapHandle
+	// Stats returns the underlying scheme's reclamation statistics.
+	Stats() *Stats
+	// Scheme reports which reclamation scheme protects this map.
+	Scheme() Scheme
+}
+
+// ErrUnsupported is returned (via panic-free constructors' second result)
+// when a scheme does not apply to a data structure (Table 1).
+type ErrUnsupported struct {
+	Structure string
+	Scheme    Scheme
+}
+
+func (e *ErrUnsupported) Error() string {
+	return fmt.Sprintf("hpbrcu: %s does not support %s (see Table 1 of the paper)", e.Structure, e.Scheme)
+}

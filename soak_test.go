@@ -1,0 +1,124 @@
+package hpbrcu_test
+
+// Soak tests: every structure under HP-BRCU with deliberately hostile
+// parameters — tiny defer batches, ForceThreshold 1 (neutralize on the
+// first failed advance), checkpoints every 4 steps — so rollbacks, masked
+// aborts and double-buffer switches fire constantly. The allocator's
+// lifecycle panics (double retire, double free, free-without-retire) turn
+// any reclamation protocol violation into a hard failure.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+func soakConfig() hpbrcu.Config {
+	return hpbrcu.Config{BatchSize: 4, ForceThreshold: 1, BackupPeriod: 4}
+}
+
+func TestSoakHPBRCUAllStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	mks := []struct {
+		name string
+		mk   func() (hpbrcu.Map, error)
+	}{
+		{"HList", func() (hpbrcu.Map, error) { return hpbrcu.NewHList(hpbrcu.HPBRCU, soakConfig()) }},
+		{"HHSList", func() (hpbrcu.Map, error) { return hpbrcu.NewHHSList(hpbrcu.HPBRCU, soakConfig()) }},
+		{"HMList", func() (hpbrcu.Map, error) { return hpbrcu.NewHMList(hpbrcu.HPBRCU, soakConfig()) }},
+		{"HashMap", func() (hpbrcu.Map, error) { return hpbrcu.NewHashMap(hpbrcu.HPBRCU, 16, soakConfig()) }},
+		{"SkipList", func() (hpbrcu.Map, error) { return hpbrcu.NewSkipList(hpbrcu.HPBRCU, soakConfig()) }},
+		{"NMTree", func() (hpbrcu.Map, error) { return hpbrcu.NewNMTree(hpbrcu.HPBRCU, soakConfig()) }},
+	}
+	for _, mk := range mks {
+		mk := mk
+		t.Run(mk.name, func(t *testing.T) {
+			m, err := mk.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(300 * time.Millisecond)
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					h := m.Register()
+					defer h.Unregister()
+					rng := rand.New(rand.NewSource(seed))
+					for time.Now().Before(deadline) {
+						k := rng.Int63n(96)
+						switch rng.Intn(4) {
+						case 0, 1:
+							h.Get(k)
+						case 2:
+							h.Insert(k, k)
+						default:
+							h.Remove(k)
+						}
+					}
+					h.Barrier()
+				}(int64(w + 1))
+			}
+			wg.Wait()
+
+			// Drain and check the books balance.
+			h := m.Register()
+			for i := 0; i < 8; i++ {
+				h.Barrier()
+			}
+			h.Unregister()
+			s := m.Stats().Snapshot()
+			if s.Retired == 0 {
+				t.Fatal("soak produced no retires")
+			}
+			if s.Unreclaimed != 0 {
+				t.Fatalf("unreclaimed=%d after drain (retired=%d reclaimed=%d)",
+					s.Unreclaimed, s.Retired, s.Reclaimed)
+			}
+			t.Logf("retired=%d signals=%d rollbacks=%d peak=%d",
+				s.Retired, s.Signals, s.Rollbacks, s.PeakUnreclaimed)
+		})
+	}
+}
+
+// TestSoakVBRReuseStorm drives VBR with maximal slot churn: its era-based
+// restarts and version-guarded CASes must keep the list linearizable with
+// slots recycling constantly.
+func TestSoakVBRReuseStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	m, err := hpbrcu.NewHHSList(hpbrcu.VBR, hpbrcu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Register()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				k := rng.Int63n(4) // tiny key space: constant recycling
+				h.Insert(k, k)
+				h.Remove(k)
+				h.Get(k)
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	s := m.Stats().Snapshot()
+	if s.Unreclaimed != 0 {
+		t.Fatalf("VBR deferred something: unreclaimed=%d", s.Unreclaimed)
+	}
+	t.Logf("retired=%d rollbacks=%d eras=%d", s.Retired, s.Rollbacks, s.EpochAdvances)
+}
