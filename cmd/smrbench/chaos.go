@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/chaos"
+)
+
+var chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
+
+// runChaos sweeps the fault-injection schedule corpus over the expedited
+// schemes and both list shapes, with the self-healing watchdog enabled,
+// and reports survivals and invariant violations. Any violation makes the
+// process exit nonzero, so the sweep doubles as a CI gate.
+func runChaos() {
+	if *chaosSeeds < 1 {
+		fmt.Fprintf(os.Stderr, "chaos: -seeds %d makes a vacuous sweep (need >= 1)\n", *chaosSeeds)
+		os.Exit(2)
+	}
+
+	// The chaos harness targets the expedited schemes (the others have no
+	// fault sites to speak of); honor -schemes but clamp to that set.
+	capable := map[hpbrcu.Scheme]bool{hpbrcu.HPRCU: true, hpbrcu.HPBRCU: true}
+	var sel []hpbrcu.Scheme
+	for _, s := range schemeFilter() {
+		if capable[s] {
+			sel = append(sel, s)
+		}
+	}
+	if len(sel) == 0 {
+		fmt.Fprintln(os.Stderr, "chaos: no expedited scheme selected (need HP-RCU and/or HP-BRCU)")
+		os.Exit(2)
+	}
+	fmt.Printf("Chaos sweep: %d seeds × %d schedules, watchdog on\n", *chaosSeeds, len(chaos.Schedules))
+
+	header := row{"scheme", "structure", "schedule", "runs", "survived", "faults fired", "escalations", "broadcasts"}
+	var rows []row
+	var failures []string
+	for _, scheme := range sel {
+		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
+			for _, sched := range chaos.Schedules {
+				var fired, escalations, broadcasts uint64
+				survived := 0
+				for seed := 1; seed <= *chaosSeeds; seed++ {
+					res := chaos.Run(chaos.Scenario{
+						Structure: st, Scheme: scheme, Seed: uint64(seed),
+						Schedule: sched, Watchdog: true,
+					})
+					fired += res.Fired
+					escalations += uint64(res.Stats.WatchdogEscalations)
+					broadcasts += uint64(res.Stats.Broadcasts)
+					if res.Survived() {
+						survived++
+					} else {
+						for _, v := range res.Violations {
+							failures = append(failures, fmt.Sprintf("%s/%s/%s seed %d: %s",
+								scheme, st, sched.Name, seed, v))
+						}
+					}
+				}
+				rows = append(rows, row{
+					scheme.String(), string(st), sched.Name,
+					strconv.Itoa(*chaosSeeds),
+					fmt.Sprintf("%d/%d", survived, *chaosSeeds),
+					strconv.FormatUint(fired, 10),
+					strconv.FormatUint(escalations, 10),
+					strconv.FormatUint(broadcasts, 10),
+				})
+			}
+		}
+	}
+	emit(header, rows)
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d invariant violation(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all runs survived: zero invariant violations")
+}

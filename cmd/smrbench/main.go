@@ -15,6 +15,8 @@
 //	table1     applicability matrix (Table 1, benchmark structures)
 //	table2     robustness criteria incl. stalled-thread measurement (Table 2)
 //	ablation   design-choice sweeps (BackupPeriod, ForceThreshold, BatchSize)
+//	chaos      fault-injection sweep: seeds × schedules × schemes × lists,
+//	           watchdog on; exits nonzero on any invariant violation
 //
 // Numbers are not comparable to the paper's 64/96-thread testbeds; the
 // shape (ordering, collapse points, boundedness) is what to compare. Use
@@ -46,7 +48,7 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: smrbench [flags] fig1|fig5|fig6|fig7|appendixB|table1|table2|ablation")
+		fmt.Fprintln(os.Stderr, "usage: smrbench [flags] fig1|fig5|fig6|fig7|appendixB|table1|table2|ablation|chaos")
 		os.Exit(2)
 	}
 	switch flag.Arg(0) {
@@ -66,6 +68,8 @@ func main() {
 		runTable2()
 	case "ablation":
 		runAblation()
+	case "chaos":
+		runChaos()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", flag.Arg(0))
 		os.Exit(2)

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/smrgo/hpbrcu/internal/fault"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
@@ -162,6 +163,11 @@ func (p *Pool[T]) Hdr(slot uint64) *Header {
 // The node's fields hold whatever the previous occupant left; callers must
 // initialize every field before publishing the node.
 func (p *Pool[T]) Alloc(c *Cache[T]) (slot uint64, node *T) {
+	if fault.On {
+		// Stall before the slot is taken: widens the window between a
+		// competitor freeing the slot and this thread recycling it.
+		fault.Fire(fault.SiteAllocStall)
+	}
 	if len(c.slots) == 0 {
 		p.refill(c)
 	}
@@ -180,9 +186,15 @@ func (p *Pool[T]) Alloc(c *Cache[T]) (slot uint64, node *T) {
 // refill moves slots into the cache from the shared freelist, growing a
 // fresh slab when the freelist is empty.
 func (p *Pool[T]) refill(c *Cache[T]) {
+	batch := cacheBatch
+	if fault.On && fault.Fire(fault.SiteAllocExhaust) {
+		// Pool exhaustion: refill a single slot, maximizing freelist
+		// pressure and slot-reuse (ABA) churn.
+		batch = 1
+	}
 	p.freeMu.Lock()
 	if n := len(p.freeList); n > 0 {
-		take := cacheBatch
+		take := batch
 		if take > n {
 			take = n
 		}
@@ -196,7 +208,7 @@ func (p *Pool[T]) refill(c *Cache[T]) {
 	p.growMu.Lock()
 	start := p.nextSlot
 	// Carve fresh slots, materializing slabs as needed.
-	for i := 0; i < cacheBatch; i++ {
+	for i := 0; i < batch; i++ {
 		slot := start + uint64(i)
 		idx := slot - 1
 		si := idx >> slabBits
@@ -209,7 +221,7 @@ func (p *Pool[T]) refill(c *Cache[T]) {
 		}
 		c.slots = append(c.slots, slot)
 	}
-	p.nextSlot = start + cacheBatch
+	p.nextSlot = start + uint64(batch)
 	p.growMu.Unlock()
 }
 
@@ -224,6 +236,11 @@ func (p *Pool[T]) FreeSlot(slot uint64) {
 	}
 	p.Freed.Inc()
 	p.Live.Add(-1)
+	if fault.On {
+		// Stall between poisoning and the freelist push: the slot is
+		// already Free/version-bumped but not yet reusable.
+		fault.Fire(fault.SiteFreeStall)
+	}
 
 	p.freeMu.Lock()
 	p.freeList = append(p.freeList, slot)
@@ -240,6 +257,9 @@ func (p *Pool[T]) FreeLocal(c *Cache[T], slot uint64) {
 	}
 	p.Freed.Inc()
 	p.Live.Add(-1)
+	if fault.On {
+		fault.Fire(fault.SiteFreeStall)
+	}
 
 	if len(c.slots) >= cap(c.slots) {
 		p.freeMu.Lock()

@@ -54,7 +54,10 @@ func RunStalled(cfg StallConfig) StallResult {
 		register func() churnHandle
 		stall    func() (unstall func())
 		rec      *stats.Reclamation
-		bound    int64 = -1
+		// boundFn evaluates the §5 bound after the run, when the domain
+		// has seen the true peak handle and shield counts; nil means the
+		// scheme has no bound (reported as -1).
+		boundFn func() int64
 	)
 
 	switch cfg.Scheme {
@@ -121,7 +124,12 @@ func RunStalled(cfg StallConfig) StallResult {
 			return func() { h.Unpin(); h.Unregister() }
 		}
 		rec = l.Stats()
-		bound = l.Domain().GarbageBoundFor(cfg.Writers+1, (cfg.Writers+1)*9)
+		// Evaluate 2GN+GN²+H from the domain's own accounting once the
+		// run is over: N is the peak number of registered BRCU handles
+		// and H the peak number of registered shields — not a magic
+		// shields-per-handle constant that silently drifts when the data
+		// structure changes its shield layout.
+		boundFn = l.Domain().GarbageBoundObserved
 	default:
 		panic("bench: unknown scheme in RunStalled")
 	}
@@ -149,6 +157,10 @@ func RunStalled(cfg StallConfig) StallResult {
 	wg.Wait()
 	unstall()
 
+	bound := int64(-1)
+	if boundFn != nil {
+		bound = boundFn()
+	}
 	s := rec.Snapshot()
 	return StallResult{
 		Scheme:          cfg.Scheme,

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+// TestRunStalledRobustnessTable is the Table 2 experiment as a test: with
+// one thread stalled inside each scheme's read-side protection, robust
+// schemes must keep peak unreclaimed memory bounded while NR and RCU grow
+// without reclaiming anything.
+func TestRunStalledRobustnessTable(t *testing.T) {
+	dur := 40 * time.Millisecond
+	if testing.Short() {
+		dur = 15 * time.Millisecond
+	}
+	cases := []struct {
+		scheme hpbrcu.Scheme
+		// hasBound: the scheme reports the §5 bound and must stay under it.
+		hasBound bool
+		// reclaimsNothing: a stalled reader blocks all reclamation, so the
+		// leak is total (peak unreclaimed == everything ever retired).
+		reclaimsNothing bool
+	}{
+		{scheme: hpbrcu.NR, reclaimsNothing: true},
+		{scheme: hpbrcu.RCU, reclaimsNothing: true},
+		{scheme: hpbrcu.HP},
+		{scheme: hpbrcu.NBR},
+		{scheme: hpbrcu.NBRLarge},
+		{scheme: hpbrcu.VBR},
+		{scheme: hpbrcu.HPRCU, reclaimsNothing: true},
+		{scheme: hpbrcu.HPBRCU, hasBound: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme.String(), func(t *testing.T) {
+			res := RunStalled(StallConfig{
+				Scheme: tc.scheme, Writers: 2, KeyRange: 64, Duration: dur,
+			})
+			if res.Retired == 0 {
+				t.Fatal("no churn: writers retired nothing")
+			}
+			if tc.hasBound {
+				if res.Bound <= 0 {
+					t.Fatalf("bound = %d, want > 0", res.Bound)
+				}
+				if res.PeakUnreclaimed > res.Bound {
+					t.Fatalf("peak unreclaimed %d exceeds §5 bound %d", res.PeakUnreclaimed, res.Bound)
+				}
+				if res.Signals == 0 {
+					t.Fatal("HP-BRCU never neutralized the stalled reader")
+				}
+			} else if res.Bound != -1 {
+				t.Fatalf("bound = %d, want -1 (no bound applies)", res.Bound)
+			}
+			if tc.reclaimsNothing && res.PeakUnreclaimed != res.Retired {
+				t.Fatalf("stalled %s should block all reclamation: peak %d != retired %d",
+					tc.scheme, res.PeakUnreclaimed, res.Retired)
+			}
+		})
+	}
+}

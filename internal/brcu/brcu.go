@@ -36,6 +36,7 @@ import (
 
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/fault"
 	"github.com/smrgo/hpbrcu/internal/registry"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
@@ -86,6 +87,15 @@ type Domain struct {
 
 	maxLocalTasks  int
 	forceThreshold int
+	// effForce is the runtime signalling budget. It starts at the
+	// configured ForceThreshold and is only ever lowered (and later
+	// restored) by the watchdog, so the §5 bound computed from the
+	// configured value stays a valid upper bound throughout.
+	effForce atomic.Int32
+
+	// population tracks registered handles and their peak, so the §5
+	// bound can be evaluated after the fact with the N actually observed.
+	population stats.Gauge
 
 	tasksMu sync.Mutex
 	tasks   []taggedBatch
@@ -124,6 +134,7 @@ func NewDomain(rec *stats.Reclamation, opts ...Option) *Domain {
 	for _, o := range opts {
 		o(d)
 	}
+	d.effForce.Store(int32(d.forceThreshold))
 	return d
 }
 
@@ -146,6 +157,17 @@ func (d *Domain) GarbageBoundFor(threads int) int64 {
 	g := int64(d.maxLocalTasks * d.forceThreshold)
 	n := int64(threads)
 	return 2*g*n + g*n*n
+}
+
+// HandlesPeak returns the highest number of simultaneously registered
+// handles observed — the N to evaluate the §5 bound with after a run.
+func (d *Domain) HandlesPeak() int { return int(d.population.Peak()) }
+
+// GarbageBoundObserved is the §5 bound 2GN+GN² evaluated with the peak
+// observed thread count (the caller adds H from its own shield
+// accounting).
+func (d *Domain) GarbageBoundObserved() int64 {
+	return d.GarbageBoundFor(d.HandlesPeak())
 }
 
 // Handle is one thread's participation record (Algorithm 5 lines 8-13).
@@ -171,6 +193,7 @@ func (d *Domain) Register() *Handle {
 		d.rec.Unreclaimed.Add(-1)
 	}
 	d.handles.Add(h)
+	d.population.Add(1)
 	return h
 }
 
@@ -187,6 +210,7 @@ func (h *Handle) Unregister() {
 		h.flush()
 	}
 	h.d.handles.Remove(h)
+	h.d.population.Add(-1)
 }
 
 // Enter begins (or re-begins, after a rollback) a critical section: it
@@ -202,8 +226,31 @@ func (h *Handle) Enter() {
 // checkpoint and either Exit or Enter again. Poll is the only operation on
 // the hot traversal path: a single atomic load.
 func (h *Handle) Poll() bool {
+	if fault.On {
+		fault.Fire(fault.SitePoll)
+	}
 	ph, _ := unpack(h.status.Load())
 	return ph != phaseRbReq
+}
+
+// SelfNeutralize marks this handle as neutralized, exactly as if a
+// reclaimer's signal had landed: CAS InCs/InRm → RbReq at the current
+// epoch. The fault-injection layer uses it to force rollbacks at arbitrary
+// traversal steps and mid-Mask; it reports whether a request was planted
+// (false when the handle is outside a critical section or already
+// neutralized). It deliberately does not count in Stats.Signals — it is
+// not a reclaimer signal.
+func (h *Handle) SelfNeutralize() bool {
+	for {
+		st := h.status.Load()
+		ph, e := unpack(st)
+		if ph != phaseInCs && ph != phaseInRm {
+			return false
+		}
+		if h.status.CompareAndSwap(st, pack(phaseRbReq, e)) {
+			return true
+		}
+	}
 }
 
 // Refresh re-announces the current global epoch without leaving the
@@ -263,6 +310,9 @@ func (h *Handle) CriticalSection(body func() bool) {
 // when a neutralization landed mid-region (the paper's race between Mask
 // and SignalHandler, resolved the same way).
 func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
+	if fault.On {
+		fault.Fire(fault.SiteMaskEnter)
+	}
 	st := h.status.Load()
 	ph, e := unpack(st)
 	if ph != phaseInCs {
@@ -276,6 +326,12 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 		return false, true
 	}
 	body()
+	if fault.On {
+		fault.Fire(fault.SiteMaskExit)
+		if fault.Fire(fault.SiteMaskAbort) {
+			h.SelfNeutralize()
+		}
+	}
 	if !h.status.CompareAndSwap(pack(phaseInRm, e), pack(phaseInCs, e)) {
 		// Neutralized during the region: the writes stand (they are
 		// rollback-safe and complete); control rolls back now.
@@ -317,8 +373,14 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 }
 
 // flush moves the local batch to the global task set tagged with the
-// current global epoch (line 26).
+// current global epoch (line 26). An empty batch is not enqueued: a
+// zero-task taggedBatch would keep pendingBatches nonzero after a drain,
+// which the watchdog would misread as a stalled epoch and answer with an
+// endless broadcast storm.
 func (h *Handle) flush() {
+	if len(h.batch) == 0 {
+		return
+	}
 	d := h.d
 	e := d.epoch.Load()
 	tasks := make([]alloc.Retired, len(h.batch))
@@ -335,6 +397,11 @@ func (h *Handle) flushAndAdvance() {
 	eg := d.epoch.Load()
 	h.flush()
 	h.pushCnt++
+	if fault.On && fault.Fire(fault.SiteAdvanceStorm) {
+		// Neutralization storm: exhaust the budget so this advance
+		// signals every laggard immediately.
+		h.pushCnt = int(d.effForce.Load())
+	}
 
 	// Our own critical section blocks the epoch like anyone else's. This
 	// matters when Defer runs inside an abort-masked region: advancing
@@ -385,7 +452,7 @@ func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bo
 		if ph == phaseOut || ph == phaseRbReq || eo >= eg {
 			return true, false
 		}
-		if h.pushCnt < d.forceThreshold {
+		if h.pushCnt < int(d.effForce.Load()) {
 			return false, false
 		}
 		// SendSignal (line 32): the CAS is the delivery point. InRm
@@ -403,6 +470,12 @@ func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bo
 // began after those nodes were unlinked.
 func (h *Handle) executeExpired(eg uint64) {
 	if eg == 0 {
+		return
+	}
+	if fault.On && fault.Fire(fault.SiteDrainSkip) {
+		// Delayed drain: the expired batches stay queued until the next
+		// advance (the plan's cooldown keeps skips non-consecutive, so
+		// at most one extra epoch of batches accumulates).
 		return
 	}
 	limit := eg - 1
@@ -433,7 +506,20 @@ func (h *Handle) executeExpired(eg uint64) {
 // critical sections will be neutralized.
 func (h *Handle) Barrier() {
 	for i := 0; i < 4; i++ {
-		h.pushCnt = h.d.forceThreshold // force
+		h.pushCnt = h.d.forceThreshold // force (≥ the effective threshold)
 		h.flushAndAdvance()
 	}
 }
+
+// pendingBatches reports how many flushed batches are waiting in the
+// global task set (the watchdog's stalled-drain signal).
+func (d *Domain) pendingBatches() int {
+	d.tasksMu.Lock()
+	n := len(d.tasks)
+	d.tasksMu.Unlock()
+	return n
+}
+
+// EffectiveForceThreshold returns the runtime signalling budget: the
+// configured ForceThreshold unless the watchdog has escalated it down.
+func (d *Domain) EffectiveForceThreshold() int { return int(d.effForce.Load()) }

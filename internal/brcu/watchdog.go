@@ -1,0 +1,213 @@
+// The BRCU watchdog: a per-domain monitor goroutine that detects the two
+// pathological states the paper's robustness argument rules out but a
+// production deployment must still survive when misconfigured — a stalled
+// global epoch (laggards that the configured ForceThreshold is too patient
+// to neutralize) and retired-but-unreclaimed growth approaching the §5
+// bound — and self-heals by escalating the *effective* ForceThreshold
+// toward 1 (more aggressive targeted signalling) and, as a last resort,
+// broadcasting neutralization to every live critical section and forcing
+// the epoch forward itself.
+//
+// Escalations only ever lower the effective threshold below its configured
+// value, so the bound 2GN+GN²+H computed from the configuration remains a
+// valid upper bound; interventions make reclamation strictly more eager.
+// All interventions are counted in stats.Reclamation (WatchdogEscalations,
+// Broadcasts) separately from ordinary Signals.
+package brcu
+
+import (
+	"time"
+)
+
+// Watchdog defaults. The interval is deliberately short relative to human
+// time but long relative to an epoch advance: a healthy domain advances
+// many times per tick, so a tick without progress while batches are queued
+// is already suspicious.
+const (
+	DefaultWatchdogInterval = time.Millisecond
+	DefaultWatchdogFraction = 0.75
+	// watchdogStallTicks is how many consecutive no-advance ticks (with
+	// batches queued) count as a stalled epoch.
+	watchdogStallTicks = 3
+	// watchdogCalmTicks is how many consecutive healthy ticks de-escalate
+	// one step back toward the configured threshold.
+	watchdogCalmTicks = 8
+)
+
+// WatchdogConfig configures StartWatchdog.
+type WatchdogConfig struct {
+	// Interval between health checks (default 1ms).
+	Interval time.Duration
+	// Fraction of the §5 bound beyond which unreclaimed growth triggers
+	// an escalation (default 0.75).
+	Fraction float64
+	// Shields supplies H for the bound — the number of registered hazard
+	// shields (nil means 0). Called from the watchdog goroutine.
+	Shields func() int64
+	// Handle is the participation record the watchdog drains through on a
+	// broadcast. HP-BRCU passes a handle whose executor performs the inner
+	// HP-Retire of two-step retirement; nil registers a plain handle with
+	// the default free-directly executor.
+	Handle *Handle
+	// PostDrain runs after each forced drain (e.g. an HP reclaim pass
+	// that frees what the drain moved into the watchdog's retired batch).
+	// Called from the watchdog goroutine.
+	PostDrain func()
+}
+
+// Watchdog is a running monitor; see StartWatchdog.
+type Watchdog struct {
+	d   *Domain
+	cfg WatchdogConfig
+
+	h         *Handle
+	ownHandle bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartWatchdog launches the domain's monitor goroutine. Stop it with
+// Stop before tearing the domain down.
+func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogInterval
+	}
+	if cfg.Fraction <= 0 {
+		cfg.Fraction = DefaultWatchdogFraction
+	}
+	w := &Watchdog{
+		d:    d,
+		cfg:  cfg,
+		h:    cfg.Handle,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if w.h == nil {
+		w.h = d.Register()
+		w.ownHandle = true
+	}
+	go w.run()
+	return w
+}
+
+// Stop terminates the monitor and waits for it to exit. A handle the
+// watchdog registered itself is unregistered; a caller-provided one is
+// left to its owner. Stop is idempotent-unsafe: call it exactly once.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+	if w.ownHandle {
+		w.h.Unregister()
+	}
+}
+
+// bound is the §5 bound with the observed peak N and the caller-supplied H.
+func (w *Watchdog) bound() int64 {
+	b := w.d.GarbageBoundObserved()
+	if w.cfg.Shields != nil {
+		b += w.cfg.Shields()
+	}
+	return b
+}
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	d := w.d
+	ticker := time.NewTicker(w.cfg.Interval)
+	defer ticker.Stop()
+
+	lastEpoch := d.epoch.Load()
+	stalled, calm := 0, 0
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+
+		e := d.epoch.Load()
+		queued := d.pendingBatches()
+		unreclaimed := d.rec.Unreclaimed.Load()
+		over := float64(unreclaimed) > w.cfg.Fraction*float64(w.bound())
+
+		if e != lastEpoch {
+			lastEpoch = e
+			stalled = 0
+		} else if queued > 0 {
+			// No advance this tick while flushed batches wait: the epoch
+			// is lagging behind the garbage.
+			stalled++
+		} else {
+			stalled = 0
+		}
+
+		if over || stalled >= watchdogStallTicks {
+			calm = 0
+			stalled = 0
+			w.escalate()
+			continue
+		}
+
+		// Healthy tick: walk the effective threshold back up toward the
+		// configured value, one doubling per calm streak.
+		if eff := d.effForce.Load(); eff < int32(d.forceThreshold) {
+			calm++
+			if calm >= watchdogCalmTicks {
+				calm = 0
+				next := eff * 2
+				if next > int32(d.forceThreshold) || next < eff {
+					next = int32(d.forceThreshold)
+				}
+				d.effForce.Store(next)
+			}
+		} else {
+			calm = 0
+		}
+	}
+}
+
+// escalate takes the next rung of the ladder: halve the effective
+// ForceThreshold while it is above 1, then broadcast.
+func (w *Watchdog) escalate() {
+	d := w.d
+	if eff := d.effForce.Load(); eff > 1 {
+		d.effForce.Store(eff / 2)
+		d.rec.WatchdogEscalations.Inc()
+		return
+	}
+	d.rec.WatchdogEscalations.Inc()
+	w.broadcast()
+}
+
+// broadcast is the last resort: neutralize every live critical section
+// (InCs and InRm alike — masked regions defer the request to their exit,
+// per Algorithm 6), then force the epoch forward and drain expired batches
+// through the watchdog's own handle. Two advances expire everything that
+// was queued before the broadcast.
+func (w *Watchdog) broadcast() {
+	d := w.d
+	for _, other := range d.handles.Snapshot() {
+		if other == w.h {
+			continue
+		}
+		for {
+			st := other.status.Load()
+			ph, e := unpack(st)
+			if ph == phaseOut || ph == phaseRbReq {
+				break
+			}
+			if other.status.CompareAndSwap(st, pack(phaseRbReq, e)) {
+				d.rec.Broadcasts.Inc()
+				break
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		w.h.pushCnt = d.forceThreshold // budget exhausted: signal any new laggard
+		w.h.flushAndAdvance()
+	}
+	if w.cfg.PostDrain != nil {
+		w.cfg.PostDrain()
+	}
+}

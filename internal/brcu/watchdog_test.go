@@ -1,0 +1,115 @@
+package brcu
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+)
+
+// TestWatchdogRecoversStalledEpoch is the acceptance scenario for the
+// watchdog: a domain misconfigured with an absurdly patient ForceThreshold
+// has a reader stall inside a critical section, so the epoch sticks and
+// every flushed batch queues forever. The watchdog must recover — epoch
+// advancing again, unreclaimed memory back to zero — WITHOUT the stalled
+// reader ever cooperating: it is never unstalled, never polls, never exits.
+func TestWatchdogRecoversStalledEpoch(t *testing.T) {
+	const patience = 1 << 20
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	// A threshold this patient means ordinary advancing never neutralizes
+	// anyone within the test's lifetime: only the watchdog can unstick it.
+	d := NewDomain(nil, WithMaxLocalTasks(8), WithForceThreshold(patience))
+
+	stalled := d.Register()
+	writer := d.Register()
+
+	stalled.Enter() // the misconfigured laggard: never polls, never exits
+
+	// 32 full batches. The first flush still advances (the reader is
+	// current at epoch 0); every later one gives up on the laggard, so the
+	// epoch freezes and all batches queue.
+	for i := 0; i < 256; i++ {
+		retireOne(t, pool, cache, writer)
+	}
+
+	e0 := d.Epoch()
+	if got := d.Stats().Unreclaimed.Load(); got != 256 {
+		t.Fatalf("setup: unreclaimed = %d, want 256 (the stalled epoch must block every drain)", got)
+	}
+	if d.pendingBatches() == 0 {
+		t.Fatal("setup: no flushed batches queued")
+	}
+
+	w := d.StartWatchdog(WatchdogConfig{Interval: 200 * time.Microsecond})
+
+	// Recovery: the stall detector escalates every 3 no-advance ticks,
+	// halving the effective threshold down to 1 and then broadcasting,
+	// which neutralizes the stalled reader and force-drains the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Stats().Unreclaimed.Load() != 0 || d.Epoch() == e0 {
+		if time.Now().After(deadline) {
+			w.Stop()
+			t.Fatalf("watchdog never recovered: epoch %d (stuck at %d), unreclaimed %d, escalations %d, broadcasts %d",
+				d.Epoch(), e0, d.Stats().Unreclaimed.Load(),
+				d.Stats().WatchdogEscalations.Load(), d.Stats().Broadcasts.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// De-escalation: once healthy, calm ticks walk the effective threshold
+	// back up to the configured value (and stay there — a lingering empty
+	// batch used to re-trigger the stall detector here forever).
+	for d.EffectiveForceThreshold() != patience {
+		if time.Now().After(deadline) {
+			w.Stop()
+			t.Fatalf("effective threshold never restored: %d (broadcasts %d)",
+				d.EffectiveForceThreshold(), d.Stats().Broadcasts.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+
+	if d.Stats().WatchdogEscalations.Load() == 0 {
+		t.Fatal("recovery without a recorded escalation")
+	}
+	if d.Stats().Broadcasts.Load() == 0 {
+		t.Fatal("recovery without a broadcast: the escalation ladder must end in one")
+	}
+	if stalled.Poll() {
+		t.Fatal("the stalled reader must have been neutralized (it never cooperated)")
+	}
+
+	writer.Unregister()
+	stalled.Unregister() // RbReq phase: legal to unregister without exiting
+}
+
+// TestWatchdogIdleOnHealthyDomain: a domain that advances normally must see
+// no interventions at all.
+func TestWatchdogIdleOnHealthyDomain(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithMaxLocalTasks(4), WithForceThreshold(2))
+	writer := d.Register()
+	defer writer.Unregister()
+
+	w := d.StartWatchdog(WatchdogConfig{Interval: 200 * time.Microsecond})
+	for i := 0; i < 400; i++ {
+		retireOne(t, pool, cache, writer)
+	}
+	// Drain fully, then idle: an empty task set with a static epoch is the
+	// healthy steady state and must never look like a stall.
+	writer.Barrier()
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+
+	if n := d.Stats().WatchdogEscalations.Load(); n != 0 {
+		t.Fatalf("healthy domain saw %d escalations", n)
+	}
+	if n := d.Stats().Broadcasts.Load(); n != 0 {
+		t.Fatalf("healthy domain saw %d broadcasts", n)
+	}
+	if eff := d.EffectiveForceThreshold(); eff != 2 {
+		t.Fatalf("effective threshold drifted to %d on a healthy domain", eff)
+	}
+}

@@ -1,0 +1,335 @@
+// Package chaos is the adversarial harness on top of internal/fault: it
+// drives every scheme × structure combination through seed-reproducible
+// hostile fault schedules and checks the invariants the paper's robustness
+// argument promises — no allocator poison hits (use-after-free, double
+// free), retired-but-unreclaimed memory within the §5 bound 2GN+GN²+H for
+// HP-BRCU, books balancing after a drain, and per-key linearizability
+// against a reference model.
+//
+// # Reference model
+//
+// A full linearizability checker is unnecessary here: the key space is
+// partitioned among the workers, so every key has exactly one writer and
+// the outcome of each of the owner's operations is deterministic. Each
+// worker replays its operation stream against a local model map and
+// reports any divergence (a lost insert, a resurrected remove, a stale
+// get). Keys owned by other workers are still read, and any value
+// returned must be the key's canonical value — catching torn or recycled
+// reads across workers.
+//
+// # Determinism
+//
+// The operation stream of worker w under seed s is a pure function of
+// (s, w), and the fault schedule a pure function of (s, site, arrival) —
+// see internal/fault. Goroutine interleaving still varies between runs,
+// so the harness asserts invariants, never exact schedules; a seed that
+// exposed a bug stays hostile when replayed.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/fault"
+)
+
+// Defaults for a zero Scenario field.
+const (
+	DefaultWorkers  = 4
+	DefaultOps      = 3000
+	DefaultKeyRange = 128
+)
+
+// Schedule is a named fault schedule: one plan per injection site.
+type Schedule struct {
+	Name  string
+	Plans [fault.NumSites]Plan
+}
+
+// Plan aliases fault.Plan so callers need not import internal/fault.
+type Plan = fault.Plan
+
+// Schedules is the schedule corpus the `smrbench chaos` sweep runs, in
+// increasing order of nastiness. Cooldowns are the liveness knobs: every
+// plan that forces a rollback or suppresses a drain leaves enough fault-
+// free arrivals in between for the victims to make progress (see the
+// internal/fault package comment).
+var Schedules = []Schedule{
+	{Name: "stalls", Plans: plans(map[fault.Site]Plan{
+		fault.SitePoll:       {Period: 64, StallYields: 4},
+		fault.SiteShield:     {Period: 64, StallYields: 4},
+		fault.SiteAllocStall: {Period: 64, StallYields: 4},
+		fault.SiteFreeStall:  {Period: 64, StallYields: 4},
+		fault.SiteMaskEnter:  {Period: 32, StallYields: 4},
+		fault.SiteMaskExit:   {Period: 32, StallYields: 4},
+	})},
+	{Name: "rollback-storm", Plans: plans(map[fault.Site]Plan{
+		fault.SiteStepRollback: {Period: 96, Cooldown: 64},
+		fault.SitePoll:         {Period: 128, StallYields: 2},
+	})},
+	{Name: "mask-abort", Plans: plans(map[fault.Site]Plan{
+		fault.SiteMaskAbort: {Period: 4, Cooldown: 4},
+		fault.SiteMaskExit:  {Period: 8, StallYields: 2},
+	})},
+	{Name: "advance-storm", Plans: plans(map[fault.Site]Plan{
+		fault.SiteAdvanceStorm: {Period: 2},
+		fault.SitePoll:         {Period: 128, StallYields: 2},
+	})},
+	{Name: "drain-delay", Plans: plans(map[fault.Site]Plan{
+		fault.SiteDrainSkip:    {Period: 2, Cooldown: 1},
+		fault.SiteAllocExhaust: {Period: 4},
+	})},
+	{Name: "everything", Plans: plans(map[fault.Site]Plan{
+		fault.SitePoll:         {Period: 128, StallYields: 4},
+		fault.SiteShield:       {Period: 128, StallYields: 4},
+		fault.SiteMaskEnter:    {Period: 64, StallYields: 2},
+		fault.SiteMaskExit:     {Period: 64, StallYields: 2},
+		fault.SiteMaskAbort:    {Period: 8, Cooldown: 8},
+		fault.SiteStepRollback: {Period: 192, Cooldown: 64},
+		fault.SiteAdvanceStorm: {Period: 4},
+		fault.SiteDrainSkip:    {Period: 4, Cooldown: 1},
+		fault.SiteAllocStall:   {Period: 128, StallYields: 4},
+		fault.SiteAllocExhaust: {Period: 8},
+		fault.SiteFreeStall:    {Period: 128, StallYields: 4},
+	})},
+}
+
+func plans(m map[fault.Site]Plan) [fault.NumSites]Plan {
+	var out [fault.NumSites]Plan
+	for s, p := range m {
+		out[s] = p
+	}
+	return out
+}
+
+// ScheduleByName returns the named schedule from Schedules.
+func ScheduleByName(name string) (Schedule, bool) {
+	for _, s := range Schedules {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Schedule{}, false
+}
+
+// Scenario is one chaos run: a structure under a scheme, a seed, and a
+// fault schedule. Zero Workers/Ops/KeyRange select the defaults.
+type Scenario struct {
+	Structure bench.Structure
+	Scheme    hpbrcu.Scheme
+	Seed      uint64
+	Schedule  Schedule
+	Workers   int
+	Ops       int // operations per worker
+	KeyRange  int64
+	// Watchdog runs the self-healing BRCU watchdog during the scenario
+	// (HP-BRCU only; ignored elsewhere).
+	Watchdog bool
+	// Config overrides the map configuration. The zero value selects
+	// hostile chaos defaults (small batches, short checkpoint distance).
+	Config hpbrcu.Config
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	Scenario   Scenario
+	Violations []string // empty = survived
+	Fired      uint64   // total faults injected
+	Stats      hpbrcu.StatsSnapshot
+	Bound      int64 // observed §5 bound (HP-BRCU), else -1
+}
+
+// Survived reports whether the run upheld every invariant.
+func (r *Result) Survived() bool { return len(r.Violations) == 0 }
+
+// chaosConfig is the hostile default map configuration: tiny batches so
+// epoch advances and reclamation fire constantly, short checkpoint
+// distance so rollbacks land mid-traversal often.
+func chaosConfig() hpbrcu.Config {
+	return hpbrcu.Config{BatchSize: 16, ForceThreshold: 2, BackupPeriod: 16}
+}
+
+// violations collects invariant breaches from all workers.
+type violations struct {
+	mu   sync.Mutex
+	list []string
+}
+
+func (v *violations) addf(format string, args ...any) {
+	v.mu.Lock()
+	if len(v.list) < 32 { // cap: one bad run can diverge on every op
+		v.list = append(v.list, fmt.Sprintf(format, args...))
+	}
+	v.mu.Unlock()
+}
+
+func (v *violations) empty() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.list) == 0
+}
+
+// valueOf is the canonical value for a key: every insert of k stores
+// valueOf(k), so any other value read back is a torn or recycled read.
+func valueOf(k int64) int64 { return k*31 + 7 }
+
+// Run executes one scenario and reports the result. Runs must not
+// overlap: the fault gate is process-global (see internal/fault).
+func Run(sc Scenario) Result {
+	if sc.Workers <= 0 {
+		sc.Workers = DefaultWorkers
+	}
+	if sc.Ops <= 0 {
+		sc.Ops = DefaultOps
+	}
+	if sc.KeyRange <= 0 {
+		sc.KeyRange = DefaultKeyRange
+	}
+	cfg := sc.Config
+	if cfg == (hpbrcu.Config{}) {
+		cfg = chaosConfig()
+	}
+	if sc.Watchdog && sc.Scheme == hpbrcu.HPBRCU {
+		cfg.Watchdog = true
+	}
+
+	res := Result{Scenario: sc, Bound: -1}
+	var viol violations
+
+	fcfg := fault.Config{Seed: sc.Seed, Plans: sc.Schedule.Plans}
+	inj := fault.New(fcfg)
+	// Activate before the map exists so the watchdog goroutine (started
+	// by the constructor) observes the gate via its creation edge; the
+	// matching Deactivate happens after StopWatchdog below.
+	fault.Activate(inj)
+
+	m, ok := bench.NewMap(sc.Structure, sc.Scheme, sc.KeyRange, cfg)
+	if !ok {
+		fault.Deactivate()
+		res.Violations = append(res.Violations, fmt.Sprintf("unsupported: %s under %s", sc.Structure, sc.Scheme))
+		return res
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runWorker(m, sc, w, &viol)
+		}(w)
+	}
+	wg.Wait()
+
+	// Faults off before the drain: the drain must observe the repaired,
+	// fault-free behaviour (and a DrainSkip plan would defeat it).
+	hpbrcu.StopWatchdog(m)
+	fault.Deactivate()
+	res.Fired = inj.TotalFired()
+
+	// Post-run invariants. Skip the drain when a worker panicked: its
+	// handle may be parked inside a critical section, which a non-BRCU
+	// drain could wait on forever.
+	if viol.empty() {
+		drain(m)
+		snap := m.Stats().Snapshot()
+		if sc.Scheme == hpbrcu.HPRCU || sc.Scheme == hpbrcu.HPBRCU {
+			if snap.Unreclaimed != 0 {
+				viol.addf("books: unreclaimed=%d after drain (retired=%d reclaimed=%d)",
+					snap.Unreclaimed, snap.Retired, snap.Reclaimed)
+			}
+		}
+		if b := hpbrcu.GarbageBoundObserved(m); b >= 0 {
+			res.Bound = b
+			if snap.PeakUnreclaimed > b {
+				viol.addf("bound: peak unreclaimed %d exceeds §5 bound %d", snap.PeakUnreclaimed, b)
+			}
+		}
+	}
+	res.Stats = m.Stats().Snapshot()
+	res.Violations = viol.list
+	return res
+}
+
+// drain flushes all deferred reclamation through a fresh handle.
+func drain(m hpbrcu.Map) {
+	h := m.Register()
+	for i := 0; i < 8; i++ {
+		h.Barrier()
+	}
+	h.Unregister()
+}
+
+// runWorker replays worker w's deterministic operation stream against the
+// map and its local reference model. Allocator poison panics (the paper's
+// use-after-free detector) are converted into violations.
+func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol.addf("worker %d poison hit: %v", w, r)
+		}
+	}()
+
+	h := m.Register()
+	defer h.Unregister()
+
+	// Keys owned by this worker: k ≡ w (mod Workers).
+	var own []int64
+	for k := int64(w); k < sc.KeyRange; k += int64(sc.Workers) {
+		own = append(own, k)
+	}
+	if len(own) == 0 {
+		return
+	}
+	present := make(map[int64]bool, len(own))
+
+	rng := sc.Seed ^ (uint64(w)+1)*0x9E3779B97F4A7C15
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		x := rng
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+
+	for i := 0; i < sc.Ops; i++ {
+		r := next()
+		k := own[int(r>>32)%len(own)]
+		switch r % 100 {
+		case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9: // foreign read
+			fk := int64(next() % uint64(sc.KeyRange))
+			if v, ok := h.Get(fk); ok && v != valueOf(fk) {
+				viol.addf("worker %d: Get(%d) = %d, canonical value is %d", w, fk, v, valueOf(fk))
+				return
+			}
+		case 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+			20, 21, 22, 23, 24, 25, 26, 27, 28, 29: // own read
+			v, ok := h.Get(k)
+			if ok != present[k] || (ok && v != valueOf(k)) {
+				viol.addf("worker %d op %d: Get(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
+				return
+			}
+		default:
+			if r&(1<<40) == 0 { // insert
+				ok := h.Insert(k, valueOf(k))
+				if ok == present[k] {
+					viol.addf("worker %d op %d: Insert(%d) = %v, model has present=%v", w, i, k, ok, present[k])
+					return
+				}
+				present[k] = true
+			} else { // remove
+				v, ok := h.Remove(k)
+				if ok != present[k] || (ok && v != valueOf(k)) {
+					viol.addf("worker %d op %d: Remove(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
+					return
+				}
+				present[k] = false
+			}
+		}
+	}
+	h.Barrier()
+}

@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"testing"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/bench"
+)
+
+// TestRunSurvivesAcceptanceGrid is a scaled-down version of the
+// `smrbench chaos` acceptance sweep: HP-RCU and HP-BRCU on hlist and
+// hmlist must survive every schedule with zero invariant violations.
+func TestRunSurvivesAcceptanceGrid(t *testing.T) {
+	seeds := []uint64{1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, scheme := range []hpbrcu.Scheme{hpbrcu.HPRCU, hpbrcu.HPBRCU} {
+		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
+			var fired uint64
+			for _, sched := range Schedules {
+				for _, seed := range seeds {
+					res := Run(Scenario{
+						Structure: st, Scheme: scheme, Seed: seed,
+						Schedule: sched, Workers: 3, Ops: 400, KeyRange: 64,
+						Watchdog: true,
+					})
+					if !res.Survived() {
+						t.Fatalf("%s/%s/%s seed %d: %v", scheme, st, sched.Name, seed, res.Violations)
+					}
+					fired += res.Fired
+				}
+			}
+			// Some schedules target sites a scheme never reaches (e.g.
+			// BRCU poll faults under HP-RCU); require only that the
+			// corpus as a whole exercised the fault layer.
+			if fired == 0 {
+				t.Errorf("%s/%s: no schedule in the corpus ever fired", scheme, st)
+			}
+		}
+	}
+}
+
+// TestRunBoundReported: an HP-BRCU run reports a positive observed bound
+// and a peak under it.
+func TestRunBoundReported(t *testing.T) {
+	res := Run(Scenario{
+		Structure: bench.HList, Scheme: hpbrcu.HPBRCU, Seed: 7,
+		Schedule: Schedules[0], Workers: 2, Ops: 300, KeyRange: 32,
+	})
+	if !res.Survived() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Bound <= 0 {
+		t.Fatalf("observed bound = %d, want > 0", res.Bound)
+	}
+	if res.Stats.PeakUnreclaimed > res.Bound {
+		t.Fatalf("peak %d over bound %d (and Run did not flag it)", res.Stats.PeakUnreclaimed, res.Bound)
+	}
+}
+
+// TestRunUnsupportedCombination: an impossible pairing is reported, not
+// panicked on.
+func TestRunUnsupportedCombination(t *testing.T) {
+	res := Run(Scenario{Structure: bench.HMList, Scheme: hpbrcu.NBR, Seed: 1, Schedule: Schedules[0]})
+	if res.Survived() {
+		t.Fatal("unsupported combination reported as survived")
+	}
+}

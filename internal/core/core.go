@@ -20,6 +20,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/brcu"
 	"github.com/smrgo/hpbrcu/internal/ebr"
@@ -116,6 +118,51 @@ func (d *Domain) GarbageBoundFor(threads, shields int) int64 {
 		return -1
 	}
 	return d.brcu.GarbageBoundFor(threads) + int64(shields)
+}
+
+// GarbageBoundObserved is the §5 bound 2GN+GN²+H evaluated entirely from
+// the domain's own accounting: N is the peak number of simultaneously
+// registered BRCU handles and H the peak number of registered HP shields.
+// It returns -1 for an RCU-backed domain.
+func (d *Domain) GarbageBoundObserved() int64 {
+	if d.brcu == nil {
+		return -1
+	}
+	return d.brcu.GarbageBoundObserved() + d.HP.ShieldsPeak()
+}
+
+// Watchdog is a running self-healing monitor on a BRCU-backed domain; see
+// StartWatchdog.
+type Watchdog struct {
+	w *brcu.Watchdog
+	h *Handle
+}
+
+// StartWatchdog launches the BRCU watchdog (see internal/brcu) wired
+// through the two-step retirement of this domain: the H term of the bound
+// comes from the HP shield registry, forced drains move expired nodes into
+// the watchdog's own HP batch, and each drain is followed by an HP reclaim
+// pass. It returns nil for an RCU-backed domain.
+func (d *Domain) StartWatchdog(interval time.Duration, fraction float64) *Watchdog {
+	if d.brcu == nil {
+		return nil
+	}
+	h := d.Register()
+	w := d.brcu.StartWatchdog(brcu.WatchdogConfig{
+		Interval:  interval,
+		Fraction:  fraction,
+		Shields:   d.HP.Shields,
+		Handle:    h.brcu,
+		PostDrain: h.HP.Reclaim,
+	})
+	return &Watchdog{w: w, h: h}
+}
+
+// Stop terminates the watchdog and releases its handle. Call exactly once,
+// before tearing the domain down.
+func (w *Watchdog) Stop() {
+	w.w.Stop()
+	w.h.Unregister()
 }
 
 // Handle is one thread's participation record across both halves of the

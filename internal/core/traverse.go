@@ -1,6 +1,9 @@
 package core
 
-import "github.com/smrgo/hpbrcu/internal/atomicx"
+import (
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/fault"
+)
 
 // This file implements the Traverse API (Algorithm 7): the expedited
 // traversal engine with double-buffered checkpointing that both HP-RCU and
@@ -120,6 +123,11 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 		yc := 0
 		for i := 1; ; i++ {
 			atomicx.StepYield(&yc)
+			if fault.On && fault.Fire(fault.SiteStepRollback) {
+				// Forced rollback at an arbitrary traversal step: plant
+				// the request ourselves; the poll below observes it.
+				h.brcu.SelfNeutralize()
+			}
 			if !h.brcu.Poll() {
 				rolledBack = true
 				break

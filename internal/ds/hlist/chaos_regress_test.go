@@ -1,0 +1,128 @@
+package hlist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/fault"
+)
+
+// TestShieldStallExcisionRegression pins down a run-excision bug found by
+// the chaos harness: shield-publication stalls widen search windows enough
+// that helper excision becomes frequent, and runEnd used to capture the
+// first *live* node past a marked run as a run member — silently unlinking
+// and retiring a present key. Three workers hammer partitioned keys under a
+// shield-stall schedule and replay every operation against a per-key
+// deterministic model; retireRun's lifecycle assertion additionally panics
+// if a live node is ever captured again.
+func TestShieldStallExcisionRegression(t *testing.T) {
+	seeds := uint64(24)
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		if msgs := shieldStallRun(seed); len(msgs) > 0 {
+			t.Fatalf("seed %d: %v", seed, msgs)
+		}
+	}
+}
+
+func shieldStallRun(seed uint64) []string {
+	var plans [fault.NumSites]fault.Plan
+	plans[fault.SiteShield] = fault.Plan{Period: 32, StallYields: 4}
+	fault.Activate(fault.New(fault.Config{Seed: seed, Plans: plans}))
+	defer fault.Deactivate()
+
+	l := NewHPRCU(core.Config{BackupPeriod: 16, MaxLocalTasks: 16, ForceThreshold: 2, ScanThreshold: 16})
+
+	const workers = 3
+	const keyRange = 64
+	const ops = 400
+	valueOf := func(k int64) int64 { return k*31 + 7 }
+
+	var mu sync.Mutex
+	var vs []string
+	var stop atomic.Bool
+	record := func(format string, args ...any) {
+		mu.Lock()
+		vs = append(vs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+		stop.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := l.Register()
+			defer func() {
+				defer func() { recover() }() // secondary unregister-while-pinned panic
+				h.Unregister()
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					record("worker %d poison: %v", w, r)
+				}
+			}()
+
+			var own []int64
+			for k := int64(w); k < keyRange; k += workers {
+				own = append(own, k)
+			}
+			present := make(map[int64]bool)
+
+			rng := seed ^ (uint64(w)+1)*0x9E3779B97F4A7C15
+			next := func() uint64 {
+				rng += 0x9E3779B97F4A7C15
+				x := rng
+				x ^= x >> 30
+				x *= 0xBF58476D1CE4E5B9
+				x ^= x >> 27
+				x *= 0x94D049BB133111EB
+				x ^= x >> 31
+				return x
+			}
+
+			for i := 0; i < ops && !stop.Load(); i++ {
+				r := next()
+				k := own[int(r>>32)%len(own)]
+				switch r % 100 {
+				case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9:
+					fk := int64(next() % keyRange)
+					if v, ok := h.Get(fk); ok && v != valueOf(fk) {
+						record("w%d op%d: Get(%d)=%d, canonical %d", w, i, fk, v, valueOf(fk))
+						return
+					}
+				case 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+					20, 21, 22, 23, 24, 25, 26, 27, 28, 29:
+					v, ok := h.Get(k)
+					if ok != present[k] || (ok && v != valueOf(k)) {
+						record("w%d op%d: Get(%d)=(%d,%v), model present=%v", w, i, k, v, ok, present[k])
+						return
+					}
+				default:
+					if r&(1<<40) == 0 {
+						if ok := h.Insert(k, valueOf(k)); ok == present[k] {
+							record("w%d op%d: Insert(%d)=%v, model present=%v", w, i, k, ok, present[k])
+							return
+						}
+						present[k] = true
+					} else {
+						v, ok := h.Remove(k)
+						if ok != present[k] || (ok && v != valueOf(k)) {
+							record("w%d op%d: Remove(%d)=(%d,%v), model present=%v", w, i, k, v, ok, present[k])
+							return
+						}
+						present[k] = false
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return vs
+}

@@ -24,6 +24,8 @@
 package hlist
 
 import (
+	"fmt"
+
 	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/ds/lnode"
 )
@@ -52,9 +54,10 @@ func runEnd(l *lnode.List, first atomicx.Ref, buf *runBuf) (end atomicx.Ref) {
 	for i := 0; i < maxRun; i++ {
 		next := l.At(cur).Next.Load()
 		if next.Tag() == 0 {
-			buf.slots[buf.n] = cur.Slot()
-			buf.n++
-			return next.Untagged() // unmarked successor (or nil)
+			// cur's own Next is unmarked, so cur itself is live: it is
+			// the excision target, not a run member (the mark lives on a
+			// node's own Next word, not on the edge pointing at it).
+			return cur
 		}
 		buf.slots[buf.n] = cur.Slot()
 		buf.n++
@@ -76,6 +79,16 @@ func runEnd(l *lnode.List, first atomicx.Ref, buf *runBuf) (end atomicx.Ref) {
 func retireRun(l *lnode.List, buf *runBuf, retire func(slot uint64)) int {
 	n := 0
 	for i := 0; i < buf.n; i++ {
+		// Lifecycle assertion in the spirit of the allocator's poison
+		// checks: a run member's mark is permanent, so an unmarked node
+		// here means a live node was captured (this caught a run-boundary
+		// bug where runEnd treated the first live node as a run member).
+		// Every caller runs inside a critical section, so the node cannot
+		// have been recycled between capture and this re-read.
+		if l.Pool.At(buf.slots[i]).Next.Load().Tag() == 0 {
+			panic(fmt.Sprintf("hlist: retireRun captured unmarked node (key=%d slot=%d)",
+				l.Pool.At(buf.slots[i]).Key.Load(), buf.slots[i]))
+		}
 		if l.Pool.Hdr(buf.slots[i]).TryRetire() {
 			retire(buf.slots[i])
 			n++

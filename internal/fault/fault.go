@@ -1,0 +1,224 @@
+// Package fault is the deterministic fault-injection layer behind the
+// chaos harness (internal/chaos, `smrbench chaos`). Injection points are
+// compiled into the hot paths of internal/brcu, internal/core, internal/hp
+// and internal/alloc behind a single package-level boolean, so a disabled
+// build costs one predictable branch per site and nothing else:
+//
+//	if fault.On {
+//	        fault.Fire(fault.SitePoll)
+//	}
+//
+// # Determinism model
+//
+// Whether the n-th arrival at a site fires is a pure function of
+// (seed, site, n): arrivals are numbered by a per-site atomic counter and
+// the decision hashes the triple through splitmix64. The same seed
+// therefore always produces the same fault schedule per site-arrival
+// sequence. Goroutine interleaving still varies between runs — the chaos
+// harness asserts invariants (no poison hits, bound compliance, the
+// per-key reference model), never exact schedules.
+//
+// Each site plan can carry a cooldown: after a fire, the next Cooldown
+// arrivals at that site are exempt. This is what keeps hostile schedules
+// live — e.g. a forced-rollback plan whose cooldown exceeds the
+// checkpoint distance guarantees every traversal eventually completes a
+// checkpoint between two faults, and a drain-skip plan with a cooldown of
+// one can never suppress two consecutive drains (which bounds the extra
+// garbage it can pile up to one epoch's worth of batches).
+//
+// # Concurrency contract
+//
+// On and the active injector may only change while no goroutine is inside
+// an injection point: Activate before the workers start, Deactivate after
+// they have joined (and after any BRCU watchdog has been stopped — the
+// watchdog's drain path crosses injection sites too). This mirrors the
+// atomicx.YieldPeriod contract and keeps the gate a plain, race-free load.
+package fault
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Site identifies one injection point. The inventory (DESIGN.md §7):
+type Site uint8
+
+const (
+	// SitePoll stalls inside brcu.Handle.Poll — a neutralization poll
+	// point; the stall widens the window in which an already-neutralized
+	// thread keeps running.
+	SitePoll Site = iota
+	// SiteShield stalls in hp.Shield.Protect/ProtectSlot immediately
+	// before the protection is published — the classic HP race window
+	// between loading a reference and shielding it.
+	SiteShield
+	// SiteMaskEnter stalls in brcu.Handle.Mask before the InCs→InRm entry
+	// CAS, giving neutralizers time to land first.
+	SiteMaskEnter
+	// SiteMaskExit stalls in brcu.Handle.Mask between the masked body and
+	// the InRm→InCs exit CAS — the paper's Mask/SignalHandler race.
+	SiteMaskExit
+	// SiteMaskAbort self-neutralizes the thread at the SiteMaskExit
+	// location, deterministically forcing the "signal landed mid-region"
+	// branch of Algorithm 6.
+	SiteMaskAbort
+	// SiteStepRollback self-neutralizes the thread at a traversal step in
+	// core.Traverse, forcing a rollback to the last complete checkpoint at
+	// an arbitrary point of the walk.
+	SiteStepRollback
+	// SiteAdvanceStorm exhausts the signalling budget in
+	// brcu.flushAndAdvance, so the advance neutralizes every laggard
+	// immediately (a neutralization storm).
+	SiteAdvanceStorm
+	// SiteDrainSkip suppresses one executeExpired drain in brcu, delaying
+	// execution of expired deferred batches by (at least) one advance.
+	SiteDrainSkip
+	// SiteAllocStall stalls in alloc.Pool.Alloc before the slot is taken.
+	SiteAllocStall
+	// SiteAllocExhaust shrinks the allocator refill batch to a single
+	// slot, maximizing freelist pressure and slot-reuse (ABA) churn.
+	SiteAllocExhaust
+	// SiteFreeStall stalls in alloc.Pool.FreeSlot/FreeLocal after the slot
+	// is poisoned but before it reaches a freelist.
+	SiteFreeStall
+
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	"poll", "shield", "mask-enter", "mask-exit", "mask-abort",
+	"step-rollback", "advance-storm", "drain-skip",
+	"alloc-stall", "alloc-exhaust", "free-stall",
+}
+
+// String returns the site's name.
+func (s Site) String() string {
+	if s < NumSites {
+		return siteNames[s]
+	}
+	return "site?"
+}
+
+// Plan configures one site. The zero Plan disables the site.
+type Plan struct {
+	// Period is the mean number of arrivals between fires; arrival n
+	// fires when hash(seed, site, n) mod Period == 0. Zero disables the
+	// site; one fires on every (non-cooldown) arrival.
+	Period uint64
+	// Cooldown exempts that many arrivals after each fire. It is the
+	// liveness knob: see the package comment.
+	Cooldown uint64
+	// StallYields is how many runtime.Gosched() calls a fire performs
+	// (the "configurable duration" of a stall, measured in scheduler
+	// yields so runs stay wall-clock independent).
+	StallYields int
+}
+
+// Config seeds an Injector.
+type Config struct {
+	Seed  uint64
+	Plans [NumSites]Plan
+}
+
+type siteState struct {
+	arrivals atomic.Uint64
+	fired    atomic.Uint64
+	// gate is the first arrival index allowed to fire again after a
+	// cooldown. Races on it are benign: a lost update only mistimes a
+	// cooldown by one fire, never the determinism of the hash decision.
+	gate atomic.Uint64
+}
+
+// Injector is one activated fault schedule. Its methods are safe for
+// concurrent use.
+type Injector struct {
+	seed  uint64
+	plans [NumSites]Plan
+	sites [NumSites]siteState
+}
+
+// New builds an injector from a config.
+func New(cfg Config) *Injector {
+	return &Injector{seed: cfg.Seed, plans: cfg.Plans}
+}
+
+// On gates every injection point. Hot paths read it as a single
+// predictable branch; see the package comment for when it may change.
+var On bool
+
+var active *Injector
+
+// Activate installs inj and opens the gate. It must not run while any
+// worker is inside an injection point.
+func Activate(inj *Injector) {
+	active = inj
+	On = inj != nil
+}
+
+// Deactivate closes the gate. Same contract as Activate.
+func Deactivate() {
+	On = false
+	active = nil
+}
+
+// Fire records one arrival at site s, performs the site's stall if the
+// fault fires, and reports whether it fired. It is a no-op returning false
+// when no injector is active; callers must still guard with fault.On to
+// keep the disabled cost to one branch.
+func Fire(s Site) bool {
+	inj := active
+	if inj == nil {
+		return false
+	}
+	return inj.fire(s)
+}
+
+func (inj *Injector) fire(s Site) bool {
+	p := &inj.plans[s]
+	if p.Period == 0 {
+		return false
+	}
+	st := &inj.sites[s]
+	n := st.arrivals.Add(1)
+	if n < st.gate.Load() {
+		return false
+	}
+	if p.Period > 1 && mix(inj.seed, uint64(s), n)%p.Period != 0 {
+		return false
+	}
+	if p.Cooldown > 0 {
+		st.gate.Store(n + 1 + p.Cooldown)
+	}
+	st.fired.Add(1)
+	for i := 0; i < p.StallYields; i++ {
+		runtime.Gosched()
+	}
+	return true
+}
+
+// mix is splitmix64 over the (seed, site, arrival) triple.
+func mix(seed, site, n uint64) uint64 {
+	x := seed ^ (site+1)*0x9E3779B97F4A7C15 ^ n*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Arrivals returns how many times site s was reached.
+func (inj *Injector) Arrivals(s Site) uint64 { return inj.sites[s].arrivals.Load() }
+
+// Fired returns how many times site s fired.
+func (inj *Injector) Fired(s Site) uint64 { return inj.sites[s].fired.Load() }
+
+// TotalFired sums fires across all sites.
+func (inj *Injector) TotalFired() uint64 {
+	var t uint64
+	for s := Site(0); s < NumSites; s++ {
+		t += inj.sites[s].fired.Load()
+	}
+	return t
+}

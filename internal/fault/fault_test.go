@@ -1,0 +1,97 @@
+package fault
+
+import "testing"
+
+// TestDeterministicSchedule: the fire decision for arrival n is a pure
+// function of (seed, site, n) — two injectors with the same seed agree
+// arrival by arrival, and a different seed produces a different schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := Plan{Period: 4}
+	mk := func(seed uint64) *Injector {
+		cfg := Config{Seed: seed}
+		cfg.Plans[SitePoll] = plan
+		return New(cfg)
+	}
+	a, b, c := mk(1), mk(1), mk(2)
+	var fa, fb, fc []bool
+	for i := 0; i < 512; i++ {
+		fa = append(fa, a.fire(SitePoll))
+		fb = append(fb, b.fire(SitePoll))
+		fc = append(fc, c.fire(SitePoll))
+	}
+	diff := false
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+		diff = diff || fa[i] != fc[i]
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules (hash is degenerate)")
+	}
+	if a.Fired(SitePoll) == 0 {
+		t.Fatal("period-4 plan never fired in 512 arrivals")
+	}
+	if got := a.Arrivals(SitePoll); got != 512 {
+		t.Fatalf("arrivals = %d, want 512", got)
+	}
+}
+
+// TestCooldownSuppressesConsecutiveFires: with Period 1 (fire always) and
+// Cooldown k, fires are at least k+1 arrivals apart.
+func TestCooldownSuppressesConsecutiveFires(t *testing.T) {
+	cfg := Config{Seed: 7}
+	cfg.Plans[SiteDrainSkip] = Plan{Period: 1, Cooldown: 3}
+	inj := New(cfg)
+	last := -100
+	for i := 0; i < 64; i++ {
+		if inj.fire(SiteDrainSkip) {
+			if i-last <= 3 {
+				t.Fatalf("fires at arrivals %d and %d violate cooldown 3", last, i)
+			}
+			last = i
+		}
+	}
+	if inj.Fired(SiteDrainSkip) == 0 {
+		t.Fatal("always-fire plan never fired")
+	}
+}
+
+// TestDisabledSiteAndInactiveGate: a zero plan never fires, and Fire with
+// no active injector is a safe no-op.
+func TestDisabledSiteAndInactiveGate(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	for i := 0; i < 100; i++ {
+		if inj.fire(SiteShield) {
+			t.Fatal("zero plan fired")
+		}
+	}
+	if On {
+		t.Fatal("fault gate open with no Activate")
+	}
+	if Fire(SitePoll) {
+		t.Fatal("Fire fired without an active injector")
+	}
+}
+
+// TestActivateDeactivate round-trips the global gate.
+func TestActivateDeactivate(t *testing.T) {
+	cfg := Config{Seed: 9}
+	cfg.Plans[SitePoll] = Plan{Period: 1}
+	inj := New(cfg)
+	Activate(inj)
+	defer Deactivate()
+	if !On {
+		t.Fatal("gate closed after Activate")
+	}
+	if !Fire(SitePoll) {
+		t.Fatal("always-fire plan did not fire through the global gate")
+	}
+	Deactivate()
+	if On || Fire(SitePoll) {
+		t.Fatal("gate still open after Deactivate")
+	}
+	if inj.TotalFired() != 1 {
+		t.Fatalf("TotalFired = %d, want 1", inj.TotalFired())
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/fault"
 	"github.com/smrgo/hpbrcu/internal/registry"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
@@ -34,6 +35,11 @@ type Domain struct {
 	rec           *stats.Reclamation
 
 	handles registry.Registry[Handle]
+
+	// shields tracks the number of currently registered shields and its
+	// peak — the H term of the §5 bound 2GN+GN²+H, taken from the real
+	// registry instead of a per-structure magic constant.
+	shields stats.Gauge
 
 	// orphans holds retired nodes abandoned by unregistered handles.
 	orphanMu sync.Mutex
@@ -68,6 +74,13 @@ func NewDomain(rec *stats.Reclamation, opts ...Option) *Domain {
 // Stats returns the domain's reclamation statistics.
 func (d *Domain) Stats() *stats.Reclamation { return d.rec }
 
+// Shields returns the number of currently registered shields.
+func (d *Domain) Shields() int64 { return d.shields.Load() }
+
+// ShieldsPeak returns the highest number of simultaneously registered
+// shields observed — the H to evaluate the §5 bound with after a run.
+func (d *Domain) ShieldsPeak() int64 { return d.shields.Peak() }
+
 // Handle is a thread's participation record. Handles are not safe for
 // concurrent use; each worker registers its own.
 type Handle struct {
@@ -93,6 +106,7 @@ func (h *Handle) Unregister() {
 		s.Clear()
 	}
 	d := h.d
+	d.shields.Add(-int64(len(*h.shields.Load())))
 	if len(h.retired) > 0 {
 		d.orphanMu.Lock()
 		d.orphans = append(d.orphans, h.retired...)
@@ -116,15 +130,28 @@ func (h *Handle) NewShield() *Shield {
 	copy(next, old)
 	next[len(old)] = s
 	h.shields.Store(&next) // owner-only write; reclaimers read the snapshot
+	h.d.shields.Add(1)
 	return s
 }
 
 // Protect publishes protection of the node referred to by r (tag bits are
 // ignored). The protection is not validated; see ProtectFrom.
-func (s *Shield) Protect(r atomicx.Ref) { s.slot.Store(r.Slot()) }
+func (s *Shield) Protect(r atomicx.Ref) {
+	if fault.On {
+		// Stall in the classic HP race window: the reference is loaded
+		// but the protection not yet published.
+		fault.Fire(fault.SiteShield)
+	}
+	s.slot.Store(r.Slot())
+}
 
 // ProtectSlot publishes protection of a raw slot index.
-func (s *Shield) ProtectSlot(slot uint64) { s.slot.Store(slot) }
+func (s *Shield) ProtectSlot(slot uint64) {
+	if fault.On {
+		fault.Fire(fault.SiteShield)
+	}
+	s.slot.Store(slot)
+}
 
 // Clear removes the protection.
 func (s *Shield) Clear() { s.slot.Store(0) }

@@ -19,16 +19,22 @@ type mapImpl struct {
 	scheme Scheme
 	reg    func() MapHandle
 	st     func() *stats.Reclamation
-	dom    *core.Domain // non-nil for HP-RCU/HP-BRCU maps
+	dom    *core.Domain   // non-nil for HP-RCU/HP-BRCU maps
+	wd     *core.Watchdog // non-nil when Config.Watchdog started one
 }
 
 func (m *mapImpl) Register() MapHandle { return m.reg() }
 func (m *mapImpl) Stats() *Stats       { return m.st() }
 func (m *mapImpl) Scheme() Scheme      { return m.scheme }
 
-// withDomain records the HP-(B)RCU domain for GarbageBound.
-func (m *mapImpl) withDomain(d *core.Domain) *mapImpl {
+// withDomain records the HP-(B)RCU domain for GarbageBound and starts the
+// self-healing watchdog when the configuration asks for one (HP-BRCU
+// domains only).
+func (m *mapImpl) withDomain(d *core.Domain, cfg Config) *mapImpl {
 	m.dom = d
+	if cfg.Watchdog {
+		m.wd = d.StartWatchdog(cfg.WatchdogInterval, cfg.WatchdogFraction)
+	}
 	return m
 }
 
@@ -91,10 +97,10 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
 	case HPRCU:
 		l := hlist.NewHPRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case HPBRCU:
 		l := hlist.NewHPBRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case VBR:
 		l := vbr.New()
 		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
@@ -122,10 +128,10 @@ func NewHMList(s Scheme, cfg Config) (Map, error) {
 		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
 	case HPRCU:
 		l := hmlist.NewHPRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case HPBRCU:
 		l := hmlist.NewHPBRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	}
 	return nil, &ErrUnsupported{Structure: "HMList", Scheme: s}
 }
@@ -152,10 +158,10 @@ func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
 	case HPRCU:
 		m := hashmap.NewHPRCU(buckets, cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain(), cfg), nil
 	case HPBRCU:
 		m := hashmap.NewHPBRCU(buckets, cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain(), cfg), nil
 	case VBR:
 		m := hashmap.NewVBR(buckets)
 		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
@@ -183,10 +189,10 @@ func NewSkipList(s Scheme, cfg Config) (Map, error) {
 		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
 	case HPRCU:
 		l := skiplist.NewHPRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case HPBRCU:
 		l := skiplist.NewHPBRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	}
 	return nil, &ErrUnsupported{Structure: "SkipList", Scheme: s}
 }
@@ -207,10 +213,10 @@ func NewNMTree(s Scheme, cfg Config) (Map, error) {
 		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
 	case HPRCU:
 		l := nmtree.NewHPRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case HPBRCU:
 		l := nmtree.NewHPBRCU(cfg.CoreConfig())
-		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain()), nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	}
 	return nil, &ErrUnsupported{Structure: "NMTree", Scheme: s}
 }
@@ -222,4 +228,27 @@ func GarbageBound(m Map, shields int) int64 {
 		return impl.dom.GarbageBound(shields)
 	}
 	return -1
+}
+
+// GarbageBoundObserved returns the §5 bound 2GN+GN²+H for an HP-BRCU map,
+// evaluated with the peak thread count N and peak registered-shield count
+// H the domain actually observed — the bound a finished run's
+// PeakUnreclaimed must respect. It returns -1 when m is not
+// HP-BRCU-backed.
+func GarbageBoundObserved(m Map) int64 {
+	if impl, ok := m.(*mapImpl); ok && impl.dom != nil {
+		return impl.dom.GarbageBoundObserved()
+	}
+	return -1
+}
+
+// StopWatchdog stops the self-healing watchdog started by
+// Config.Watchdog, waiting for its monitor goroutine to exit. It is a
+// no-op for maps without one. Call exactly once, after the map's last
+// handle has unregistered or will no longer retire nodes.
+func StopWatchdog(m Map) {
+	if impl, ok := m.(*mapImpl); ok && impl.wd != nil {
+		impl.wd.Stop()
+		impl.wd = nil
+	}
 }

@@ -35,6 +35,7 @@ package hpbrcu
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/smrgo/hpbrcu/internal/core"
 	"github.com/smrgo/hpbrcu/internal/stats"
@@ -112,6 +113,20 @@ type Config struct {
 	// ForceThreshold is BRCU's failed-advance budget before neutralizing
 	// laggards (default 2).
 	ForceThreshold int
+	// Watchdog enables the self-healing BRCU watchdog on HP-BRCU maps: a
+	// per-domain monitor that detects a stalled epoch or unreclaimed
+	// growth past WatchdogFraction of the §5 bound and escalates — first
+	// by lowering the effective ForceThreshold (more aggressive
+	// signalling), then by broadcasting neutralization. Interventions are
+	// counted in Stats.WatchdogEscalations and Stats.Broadcasts. Stop it
+	// with StopWatchdog before dropping the map. Ignored for every other
+	// scheme.
+	Watchdog bool
+	// WatchdogInterval is the health-check period (default 1ms).
+	WatchdogInterval time.Duration
+	// WatchdogFraction is the fraction of the §5 bound at which
+	// unreclaimed growth triggers an escalation (default 0.75).
+	WatchdogFraction float64
 }
 
 // CoreConfig lowers the public options to the internal scheme config.

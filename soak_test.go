@@ -14,6 +14,8 @@ import (
 	"time"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/chaos"
 )
 
 func soakConfig() hpbrcu.Config {
@@ -121,4 +123,51 @@ func TestSoakVBRReuseStorm(t *testing.T) {
 		t.Fatalf("VBR deferred something: unreclaimed=%d", s.Unreclaimed)
 	}
 	t.Logf("retired=%d rollbacks=%d eras=%d", s.Retired, s.Rollbacks, s.EpochAdvances)
+}
+
+// TestChaosSeedCorpus replays a fixed corpus of fault-injection scenarios
+// (see internal/chaos) as part of tier-1, so the deterministic fault layer
+// is exercised on every plain `go test ./...` — not only by the full
+// `smrbench chaos` sweep. Runs are sequential: the fault gate is
+// process-global. The corpus deliberately spans the nastiest schedules:
+// forced rollbacks at arbitrary steps, mask-exit neutralizations, and
+// delayed defer-queue drains.
+func TestChaosSeedCorpus(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	cells := []struct {
+		scheme   hpbrcu.Scheme
+		st       bench.Structure
+		schedule string
+	}{
+		{hpbrcu.HPBRCU, bench.HList, "rollback-storm"},
+		{hpbrcu.HPBRCU, bench.HList, "mask-abort"},
+		{hpbrcu.HPBRCU, bench.HMList, "drain-delay"},
+		{hpbrcu.HPBRCU, bench.HMList, "everything"},
+		{hpbrcu.HPRCU, bench.HList, "stalls"},
+		{hpbrcu.HPRCU, bench.HMList, "everything"},
+	}
+	var fired uint64
+	for _, c := range cells {
+		sched, ok := chaos.ScheduleByName(c.schedule)
+		if !ok {
+			t.Fatalf("unknown schedule %q", c.schedule)
+		}
+		for _, seed := range seeds {
+			res := chaos.Run(chaos.Scenario{
+				Structure: c.st, Scheme: c.scheme, Seed: seed,
+				Schedule: sched, Workers: 3, Ops: 400, KeyRange: 64,
+				Watchdog: true,
+			})
+			if !res.Survived() {
+				t.Fatalf("%s/%s/%s seed %d: %v", c.scheme, c.st, c.schedule, seed, res.Violations)
+			}
+			fired += res.Fired
+		}
+	}
+	if fired == 0 {
+		t.Fatal("the corpus never injected a fault: the fault layer is not wired in")
+	}
 }
