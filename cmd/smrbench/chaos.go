@@ -61,6 +61,15 @@ func runChaos() {
 							failures = append(failures, fmt.Sprintf("%s/%s/%s seed %d: %s",
 								scheme, st, sched.Name, seed, v))
 						}
+						// The harness records an event trace per handle;
+						// the merged tail shows what the reclamation core
+						// was doing when the invariant broke.
+						if len(res.TraceTail) > 0 {
+							failures = append(failures, "  trace tail:")
+							for _, l := range res.TraceTail {
+								failures = append(failures, "    "+l)
+							}
+						}
 					}
 				}
 				rows = append(rows, row{

@@ -47,6 +47,7 @@ var (
 
 func main() {
 	flag.Parse()
+	startObservability()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: smrbench [flags] fig1|fig5|fig6|fig7|appendixB|table1|table2|ablation|chaos")
 		os.Exit(2)
@@ -76,36 +77,28 @@ func main() {
 	}
 }
 
+// fatalArg reports a flag-value error and exits with the usage status.
+func fatalArg(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
 func schemeFilter() []hpbrcu.Scheme {
 	if *schemes == "" {
 		return hpbrcu.Schemes
 	}
-	byName := map[string]hpbrcu.Scheme{}
-	for _, s := range hpbrcu.Schemes {
-		byName[strings.ToLower(s.String())] = s
-	}
-	var out []hpbrcu.Scheme
-	for _, name := range strings.Split(*schemes, ",") {
-		s, ok := byName[strings.ToLower(strings.TrimSpace(name))]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown scheme %q\n", name)
-			os.Exit(2)
-		}
-		out = append(out, s)
+	out, err := parseSchemes(*schemes)
+	if err != nil {
+		fatalArg(err)
 	}
 	return out
 }
 
 func threadCounts() []int {
 	if *threads != "" {
-		var out []int
-		for _, t := range strings.Split(*threads, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(t))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "bad thread count %q\n", t)
-				os.Exit(2)
-			}
-			out = append(out, n)
+		out, err := parseThreadCounts(*threads)
+		if err != nil {
+			fatalArg(err)
 		}
 		return out
 	}
@@ -120,14 +113,9 @@ func threadCounts() []int {
 
 func defaultExps(lo, hi int) []int {
 	if *ranges != "" {
-		var out []int
-		for _, r := range strings.Split(*ranges, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(r))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad range exponent %q\n", r)
-				os.Exit(2)
-			}
-			out = append(out, n)
+		out, err := parseExps(*ranges)
+		if err != nil {
+			fatalArg(err)
 		}
 		return out
 	}

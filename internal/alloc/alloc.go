@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/obs"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
@@ -133,11 +134,18 @@ const cacheBatch = 64
 type Cache[T any] struct {
 	pool  *Pool[T]
 	slots []uint64
+	// trace records allocator growth events (nil with observability
+	// off). Single-writer: the cache's owner goroutine.
+	trace *obs.Trace
 }
 
 // NewCache returns a thread-local allocation cache for the pool.
 func (p *Pool[T]) NewCache() *Cache[T] {
-	return &Cache[T]{pool: p, slots: make([]uint64, 0, 2*cacheBatch)}
+	c := &Cache[T]{pool: p, slots: make([]uint64, 0, 2*cacheBatch)}
+	if obs.On {
+		c.trace = obs.NewTrace("alloc")
+	}
+	return c
 }
 
 // At resolves a slot index to its node. It panics on the nil slot, which
@@ -223,6 +231,12 @@ func (p *Pool[T]) refill(c *Cache[T]) {
 	}
 	p.nextSlot = start + uint64(batch)
 	p.growMu.Unlock()
+	if obs.On {
+		// The freelist could not satisfy the refill: the pool grew by
+		// freshly carved slots — the allocator-side signal that garbage
+		// is outpacing reclamation.
+		c.trace.Rec(obs.EvSlabGrow, int64(batch))
+	}
 }
 
 // FreeSlot reclaims the slot: the node must be Retired. The node is

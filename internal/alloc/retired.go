@@ -5,4 +5,8 @@ package alloc
 type Retired struct {
 	Slot uint64
 	Pool Freer
+	// At is the obs timestamp of the retirement (0 unless the
+	// observability layer was enabled at retire time); reclamation paths
+	// use it to record the retire→reclaim age histogram.
+	At int64
 }

@@ -12,15 +12,30 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
+
+// labelWorker tags the calling goroutine for pprof profiles so CPU
+// samples can be sliced per scheme, structure and role (smr.* label
+// keys). No-op while the obs layer is off; labels die with the
+// goroutine, so nothing needs restoring.
+func labelWorker(st Structure, s hpbrcu.Scheme, role string) {
+	if !obs.On {
+		return
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(
+		"smr.scheme", s.String(), "smr.structure", string(st), "smr.role", role)))
+}
 
 // Mix is an operation mix in percent; the remainder after Read is split
 // between inserts and removes.
@@ -193,6 +208,8 @@ func RunMixed(cfg MixedConfig) Result {
 	}
 	Prefill(m, cfg.Structure, cfg.KeyRange, cfg.Prefill, cfg.Seed)
 	m.Stats().Unreclaimed.ResetPeak()
+	obs.SetRun(fmt.Sprintf("mixed %s/%s/%s threads=%d keys=%d",
+		cfg.Structure, cfg.Scheme, cfg.Mix.Name, cfg.Threads, cfg.KeyRange), m.Stats())
 
 	var (
 		stop  atomic.Bool
@@ -204,6 +221,7 @@ func RunMixed(cfg MixedConfig) Result {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
+			labelWorker(cfg.Structure, cfg.Scheme, "mixed")
 			h := m.Register()
 			defer h.Unregister()
 			rng := atomicx.NewRand(cfg.Seed*1_000_003 + id)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	hpbrcu "github.com/smrgo/hpbrcu"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
 // LongScanConfig configures the long-running-operation workload of
@@ -65,6 +67,8 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		h.Unregister()
 	}
 	m.Stats().Unreclaimed.ResetPeak()
+	obs.SetRun(fmt.Sprintf("longscan %s/%s readers=%d writers=%d keys=%d",
+		cfg.Structure, cfg.Scheme, cfg.Readers, cfg.Writers, cfg.KeyRange), m.Stats())
 
 	var (
 		stop      atomic.Bool
@@ -78,6 +82,7 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
+			labelWorker(cfg.Structure, cfg.Scheme, "reader")
 			h := m.Register()
 			defer h.Unregister()
 			rng := atomicx.NewRand(cfg.Seed*31 + id)
@@ -97,6 +102,7 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		wg.Add(1)
 		go func(id int64) {
 			defer wg.Done()
+			labelWorker(cfg.Structure, cfg.Scheme, "writer")
 			h := m.Register()
 			defer h.Unregister()
 			<-startGate

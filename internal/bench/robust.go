@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/ds/hlist"
 	"github.com/smrgo/hpbrcu/internal/ds/hmlist"
+	"github.com/smrgo/hpbrcu/internal/obs"
 	"github.com/smrgo/hpbrcu/internal/stats"
 	"github.com/smrgo/hpbrcu/internal/vbr"
 )
@@ -134,6 +136,8 @@ func RunStalled(cfg StallConfig) StallResult {
 		panic("bench: unknown scheme in RunStalled")
 	}
 
+	obs.SetRun(fmt.Sprintf("stalled %s writers=%d keys=%d",
+		cfg.Scheme, cfg.Writers, cfg.KeyRange), rec)
 	unstall := stall()
 
 	var stop atomic.Bool
@@ -142,6 +146,7 @@ func RunStalled(cfg StallConfig) StallResult {
 		wg.Add(1)
 		go func(seed uint64) {
 			defer wg.Done()
+			labelWorker(HList, cfg.Scheme, "writer")
 			h := register()
 			defer h.Unregister()
 			rng := atomicx.NewRand(seed + 1)

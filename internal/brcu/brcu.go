@@ -37,6 +37,7 @@ import (
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/obs"
 	"github.com/smrgo/hpbrcu/internal/registry"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
@@ -73,7 +74,10 @@ const (
 
 type taggedBatch struct {
 	epoch uint64
-	tasks []alloc.Retired
+	// flushed is the obs timestamp of the flush (0 with observability
+	// off); the drain records the batch's grace-period length from it.
+	flushed int64
+	tasks   []alloc.Retired
 }
 
 // Domain is one BRCU domain (global epoch, task registry, participant
@@ -181,6 +185,13 @@ type Handle struct {
 	batch   []alloc.Retired
 	pushCnt int
 	exec    func(alloc.Retired)
+
+	// Observability state, touched only past the obs.On gate. trace is
+	// nil-safe; pollN samples the epoch-lag histogram; csStart times the
+	// running critical-section attempt. All owner-goroutine-only.
+	trace   *obs.Trace
+	pollN   uint
+	csStart int64
 }
 
 // Register adds a thread to the domain with the default executor (free the
@@ -191,6 +202,12 @@ func (d *Domain) Register() *Handle {
 		r.Pool.FreeSlot(r.Slot)
 		d.rec.Reclaimed.Inc()
 		d.rec.Unreclaimed.Add(-1)
+		if obs.On && r.At != 0 {
+			d.rec.ReclaimAgeNanos.Record(obs.Nanos() - r.At)
+		}
+	}
+	if obs.On {
+		h.trace = obs.NewTrace("brcu")
 	}
 	d.handles.Add(h)
 	d.population.Add(1)
@@ -217,6 +234,9 @@ func (h *Handle) Unregister() {
 // announces InCs with the current global epoch (Algorithm 5 line 16). Any
 // pending RbReq from a previous section is superseded.
 func (h *Handle) Enter() {
+	if obs.On {
+		h.csStart = obs.Nanos()
+	}
 	h.status.Store(pack(phaseInCs, h.d.epoch.Load()))
 }
 
@@ -229,7 +249,14 @@ func (h *Handle) Poll() bool {
 	if fault.On {
 		fault.Fire(fault.SitePoll)
 	}
-	ph, _ := unpack(h.status.Load())
+	ph, e := unpack(h.status.Load())
+	if obs.On {
+		// Sample the epoch lag every 64th poll: frequent enough to see
+		// a lagging traversal, cheap enough to leave the hot path alone.
+		if h.pollN++; h.pollN&63 == 0 && ph != phaseOut {
+			h.d.rec.PollLag.Record(int64(h.d.epoch.Load()) - int64(e))
+		}
+	}
 	return ph != phaseRbReq
 }
 
@@ -275,10 +302,19 @@ func (h *Handle) Refresh() bool {
 // completing instead of rolling back is safe (see package comment).
 func (h *Handle) Exit() {
 	h.status.Store(pack(phaseOut, 0))
+	if obs.On && h.csStart != 0 {
+		h.d.rec.CSNanos.Record(obs.Nanos() - h.csStart)
+		h.csStart = 0
+	}
 }
 
 // RecordRollback counts one critical-section rollback.
-func (h *Handle) RecordRollback() { h.d.rec.Rollbacks.Inc() }
+func (h *Handle) RecordRollback() {
+	h.d.rec.Rollbacks.Inc()
+	if obs.On {
+		h.trace.Rec(obs.EvRollback, 0)
+	}
+}
 
 // CriticalSection runs body as a boundable critical section (Algorithm 5
 // line 14). The body must poll via Poll and return false to roll back; it
@@ -335,6 +371,9 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 	if !h.status.CompareAndSwap(pack(phaseInRm, e), pack(phaseInCs, e)) {
 		// Neutralized during the region: the writes stand (they are
 		// rollback-safe and complete); control rolls back now.
+		if obs.On {
+			h.trace.Rec(obs.EvMaskDefer, int64(e))
+		}
 		return true, true
 	}
 	return true, false
@@ -365,7 +404,11 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	if ph, _ := unpack(h.status.Load()); ph == phaseInCs {
 		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1)")
 	}
-	h.batch = append(h.batch, alloc.Retired{Slot: slot, Pool: pool})
+	r := alloc.Retired{Slot: slot, Pool: pool}
+	if obs.On {
+		r.At = obs.Nanos()
+	}
+	h.batch = append(h.batch, r)
 	if len(h.batch) < h.d.maxLocalTasks {
 		return
 	}
@@ -387,8 +430,12 @@ func (h *Handle) flush() {
 	copy(tasks, h.batch)
 	h.batch = h.batch[:0]
 
+	var ts int64
+	if obs.On {
+		ts = obs.Nanos()
+	}
 	d.tasksMu.Lock()
-	d.tasks = append(d.tasks, taggedBatch{epoch: e, tasks: tasks})
+	d.tasks = append(d.tasks, taggedBatch{epoch: e, flushed: ts, tasks: tasks})
 	d.tasksMu.Unlock()
 }
 
@@ -434,6 +481,13 @@ func (h *Handle) flushAndAdvance() {
 		if forced {
 			d.rec.ForcedAdvances.Inc()
 		}
+		if obs.On {
+			kind := obs.EvEpochAdvance
+			if forced {
+				kind = obs.EvForcedAdvance
+			}
+			h.trace.Rec(kind, int64(eg+1))
+		}
 	}
 	h.executeExpired(eg)
 }
@@ -459,6 +513,9 @@ func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bo
 		// victims finish their masked region first (Algorithm 6).
 		if other.status.CompareAndSwap(st, pack(phaseRbReq, eo)) {
 			d.rec.Signals.Inc()
+			if obs.On {
+				h.trace.Rec(obs.EvSignal, int64(eo))
+			}
 			return true, true
 		}
 		// The victim moved (exited, refreshed, masked); re-evaluate.
@@ -494,10 +551,22 @@ func (h *Handle) executeExpired(eg uint64) {
 	d.tasks = kept
 	d.tasksMu.Unlock()
 
+	var now int64
+	if obs.On && len(run) > 0 {
+		now = obs.Nanos()
+	}
+	tasks := 0
 	for _, b := range run {
+		tasks += len(b.tasks)
+		if now != 0 && b.flushed != 0 {
+			d.rec.GraceNanos.Record(now - b.flushed)
+		}
 		for _, r := range b.tasks {
 			h.exec(r)
 		}
+	}
+	if obs.On && tasks > 0 {
+		h.trace.Rec(obs.EvDrain, int64(tasks))
 	}
 }
 

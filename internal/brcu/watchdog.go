@@ -17,6 +17,8 @@ package brcu
 
 import (
 	"time"
+
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
 // Watchdog defaults. The interval is deliberately short relative to human
@@ -174,9 +176,15 @@ func (w *Watchdog) escalate() {
 	if eff := d.effForce.Load(); eff > 1 {
 		d.effForce.Store(eff / 2)
 		d.rec.WatchdogEscalations.Inc()
+		if obs.On {
+			w.h.trace.Rec(obs.EvWatchdogEscalate, int64(eff/2))
+		}
 		return
 	}
 	d.rec.WatchdogEscalations.Inc()
+	if obs.On {
+		w.h.trace.Rec(obs.EvWatchdogEscalate, 1)
+	}
 	w.broadcast()
 }
 
@@ -187,6 +195,7 @@ func (w *Watchdog) escalate() {
 // was queued before the broadcast.
 func (w *Watchdog) broadcast() {
 	d := w.d
+	victims := int64(0)
 	for _, other := range d.handles.Snapshot() {
 		if other == w.h {
 			continue
@@ -199,9 +208,13 @@ func (w *Watchdog) broadcast() {
 			}
 			if other.status.CompareAndSwap(st, pack(phaseRbReq, e)) {
 				d.rec.Broadcasts.Inc()
+				victims++
 				break
 			}
 		}
+	}
+	if obs.On {
+		w.h.trace.Rec(obs.EvBroadcast, victims)
 	}
 	for i := 0; i < 2; i++ {
 		w.h.pushCnt = d.forceThreshold // budget exhausted: signal any new laggard

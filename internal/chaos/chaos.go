@@ -33,6 +33,7 @@ import (
 	hpbrcu "github.com/smrgo/hpbrcu"
 	"github.com/smrgo/hpbrcu/internal/bench"
 	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
 // Defaults for a zero Scenario field.
@@ -139,6 +140,11 @@ type Result struct {
 	Fired      uint64   // total faults injected
 	Stats      hpbrcu.StatsSnapshot
 	Bound      int64 // observed §5 bound (HP-BRCU), else -1
+	// TraceTail is the merged tail of every handle's event trace
+	// (internal/obs), collected after the workers quiesced. On a
+	// violation it shows what the reclamation core was doing when the
+	// invariant broke; `smrbench chaos` prints it under the failure.
+	TraceTail []string
 }
 
 // Survived reports whether the run upheld every invariant.
@@ -202,14 +208,26 @@ func Run(sc Scenario) Result {
 	inj := fault.New(fcfg)
 	// Activate before the map exists so the watchdog goroutine (started
 	// by the constructor) observes the gate via its creation edge; the
-	// matching Deactivate happens after StopWatchdog below.
+	// matching Deactivate happens after StopWatchdog below. The trace
+	// collector follows the same lifecycle: every handle the scenario
+	// registers gets a ring buffer, and the merged tail lands in
+	// Result.TraceTail. A collector installed by the live exporter
+	// (`smrbench -metrics`) is restored afterwards.
+	prevCol := obs.Active()
+	col := obs.NewCollector(obs.DefaultRingSize)
 	fault.Activate(inj)
+	obs.Activate(col)
 
 	m, ok := bench.NewMap(sc.Structure, sc.Scheme, sc.KeyRange, cfg)
 	if !ok {
 		fault.Deactivate()
+		obs.Activate(prevCol)
 		res.Violations = append(res.Violations, fmt.Sprintf("unsupported: %s under %s", sc.Structure, sc.Scheme))
 		return res
+	}
+	col.SetRun(fmt.Sprintf("chaos %s/%s/%s seed=%d", sc.Structure, sc.Scheme, sc.Schedule.Name, sc.Seed), m.Stats())
+	if prevCol != nil {
+		prevCol.SetRun(fmt.Sprintf("chaos %s/%s/%s seed=%d", sc.Structure, sc.Scheme, sc.Schedule.Name, sc.Seed), m.Stats())
 	}
 
 	var wg sync.WaitGroup
@@ -223,7 +241,9 @@ func Run(sc Scenario) Result {
 	wg.Wait()
 
 	// Faults off before the drain: the drain must observe the repaired,
-	// fault-free behaviour (and a DrainSkip plan would defeat it).
+	// fault-free behaviour (and a DrainSkip plan would defeat it). The
+	// trace collector stays active through the drain so the tail shows
+	// the final drain and reclaim events too.
 	hpbrcu.StopWatchdog(m)
 	fault.Deactivate()
 	res.Fired = inj.TotalFired()
@@ -249,8 +269,15 @@ func Run(sc Scenario) Result {
 	}
 	res.Stats = m.Stats().Snapshot()
 	res.Violations = viol.list
+	obs.Activate(prevCol)
+	res.TraceTail = col.FormatTail(traceTailPerHandle)
 	return res
 }
+
+// traceTailPerHandle is how many events per handle a Result's TraceTail
+// keeps — enough to see the sequence of advances, signals and drains
+// leading into a violation without flooding the failure report.
+const traceTailPerHandle = 16
 
 // drain flushes all deferred reclamation through a fresh handle.
 func drain(m hpbrcu.Map) {

@@ -5,6 +5,7 @@ import (
 
 	hpbrcu "github.com/smrgo/hpbrcu"
 	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
 // TestRunSurvivesAcceptanceGrid is a scaled-down version of the
@@ -56,6 +57,26 @@ func TestRunBoundReported(t *testing.T) {
 	}
 	if res.Stats.PeakUnreclaimed > res.Bound {
 		t.Fatalf("peak %d over bound %d (and Run did not flag it)", res.Stats.PeakUnreclaimed, res.Bound)
+	}
+}
+
+// TestRunCarriesTraceTail: every chaos run records an obs event trace
+// and hands the merged tail back on the Result, so a violation report
+// can show what the reclamation core was doing. The harness must also
+// restore the previously active collector (here: none).
+func TestRunCarriesTraceTail(t *testing.T) {
+	res := Run(Scenario{
+		Structure: bench.HList, Scheme: hpbrcu.HPBRCU, Seed: 3,
+		Schedule: Schedules[0], Workers: 2, Ops: 300, KeyRange: 32,
+	})
+	if !res.Survived() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if len(res.TraceTail) == 0 {
+		t.Fatal("chaos run produced no trace tail")
+	}
+	if obs.On || obs.Active() != nil {
+		t.Fatal("chaos run left the obs gate open")
 	}
 }
 

@@ -180,7 +180,10 @@ type Handle struct {
 func (d *Domain) Register() *Handle {
 	h := &Handle{d: d, HP: d.HP.Register()}
 	exec := func(r alloc.Retired) {
-		h.HP.RetireNoCount(r.Slot, r.Pool)
+		// Keep the whole record: the obs retire timestamp set at the
+		// outer Retire rides into the inner HP batch, so the
+		// retire→reclaim age histogram spans both steps.
+		h.HP.RetireRecord(r)
 	}
 	switch d.backend {
 	case BackendRCU:

@@ -19,6 +19,7 @@ import (
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/obs"
 	"github.com/smrgo/hpbrcu/internal/registry"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
@@ -88,11 +89,15 @@ type Handle struct {
 	shields atomic.Pointer[[]*Shield] // owner appends; reclaimers scan
 	retired []alloc.Retired
 	scratch map[uint64]int // reused protected-slot multiset keyed by slot
+	trace   *obs.Trace     // reclaim events; nil with observability off
 }
 
 // Register adds a thread to the domain.
 func (d *Domain) Register() *Handle {
 	h := &Handle{d: d, scratch: make(map[uint64]int)}
+	if obs.On {
+		h.trace = obs.NewTrace("hp")
+	}
 	empty := []*Shield{}
 	h.shields.Store(&empty)
 	d.handles.Add(h)
@@ -183,7 +188,11 @@ func ProtectFrom(s *Shield, src *atomicx.AtomicRef) atomicx.Ref {
 func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 	h.d.rec.Retired.Inc()
 	h.d.rec.Unreclaimed.Add(1)
-	h.retired = append(h.retired, alloc.Retired{Slot: slot, Pool: pool})
+	r := alloc.Retired{Slot: slot, Pool: pool}
+	if obs.On {
+		r.At = obs.Nanos()
+	}
+	h.retired = append(h.retired, r)
 	if len(h.retired) >= h.d.scanThreshold {
 		h.Reclaim()
 	}
@@ -194,7 +203,15 @@ func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 // the two-step Retire (the RCU defer), not at the inner HP-Retire; this
 // entry point lets them avoid double counting.
 func (h *Handle) RetireNoCount(slot uint64, pool alloc.Freer) {
-	h.retired = append(h.retired, alloc.Retired{Slot: slot, Pool: pool})
+	h.RetireRecord(alloc.Retired{Slot: slot, Pool: pool})
+}
+
+// RetireRecord is RetireNoCount for a pre-built record; two-step
+// retirement (internal/core) uses it so the outer Retire's obs timestamp
+// survives into the inner HP batch and the retire→reclaim age histogram
+// measures the full two-step lifetime.
+func (h *Handle) RetireRecord(r alloc.Retired) {
+	h.retired = append(h.retired, r)
 	if len(h.retired) >= h.d.scanThreshold {
 		h.Reclaim()
 	}
@@ -225,6 +242,10 @@ func (h *Handle) Reclaim() {
 		}
 	}
 
+	var now int64
+	if obs.On {
+		now = obs.Nanos()
+	}
 	kept := h.retired[:0]
 	freed := int64(0)
 	for _, r := range h.retired {
@@ -234,11 +255,17 @@ func (h *Handle) Reclaim() {
 		}
 		r.Pool.FreeSlot(r.Slot)
 		freed++
+		if now != 0 && r.At != 0 {
+			d.rec.ReclaimAgeNanos.Record(now - r.At)
+		}
 	}
 	h.retired = kept
 	if freed > 0 {
 		d.rec.Reclaimed.Add(freed)
 		d.rec.Unreclaimed.Add(-freed)
+	}
+	if obs.On {
+		h.trace.Rec(obs.EvReclaim, freed)
 	}
 }
 

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGaugeResetPeakConcurrent hammers Add, ResetPeak and Snapshot-style
+// reads together (run under -race). The satellite bug this guards
+// against: an unconditional peak.Store in ResetPeak could overwrite a
+// larger peak published concurrently by Add's CAS-max loop, leaving
+// peak < level. The CAS-based rebase must never let the peak drop below
+// the final level.
+func TestGaugeResetPeakConcurrent(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		var g Gauge
+		var stopReset atomic.Bool
+		var wg sync.WaitGroup
+
+		// Resetter: spins ResetPeak while adders run.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopReset.Load() {
+				g.ResetPeak()
+			}
+		}()
+
+		// Reader: concurrent Peak/Load must stay data-race free and the
+		// peak visible to a reader is never negative (the gauge only sees
+		// positive deltas here).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopReset.Load() {
+				if p := g.Peak(); p < 0 {
+					panic("negative peak")
+				}
+				g.Load()
+			}
+		}()
+
+		var adders sync.WaitGroup
+		const workers, per = 4, 2000
+		for w := 0; w < workers; w++ {
+			adders.Add(1)
+			go func() {
+				defer adders.Done()
+				for i := 0; i < per; i++ {
+					g.Add(1)
+				}
+			}()
+		}
+		adders.Wait()
+		stopReset.Store(true)
+		wg.Wait()
+
+		final := int64(workers * per)
+		if g.Load() != final {
+			t.Fatalf("iter %d: level = %d, want %d", iter, g.Load(), final)
+		}
+		// Monotone increments: the level never decreased, so however the
+		// rebase interleaved, the peak must have caught up to the final
+		// level (each Add re-raises it via CAS-max).
+		if g.Peak() != final {
+			t.Fatalf("iter %d: peak = %d, want %d (ResetPeak lost an Add's peak)", iter, g.Peak(), final)
+		}
+	}
+}
+
+// TestResetPeakRebasesToLevel checks the single-threaded contract: after
+// ResetPeak the peak equals the current level exactly.
+func TestResetPeakRebasesToLevel(t *testing.T) {
+	var g Gauge
+	g.Add(100)
+	g.Add(-60)
+	g.ResetPeak()
+	if g.Peak() != 40 || g.Load() != 40 {
+		t.Fatalf("peak=%d level=%d, want 40/40", g.Peak(), g.Load())
+	}
+	// ResetPeak never raises the peak: with peak already at the level it
+	// is a no-op.
+	g.ResetPeak()
+	if g.Peak() != 40 {
+		t.Fatalf("second ResetPeak moved peak to %d", g.Peak())
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is an HDR-style log-linear histogram: values are bucketed by
+// power-of-two magnitude with histSub linear sub-buckets per magnitude,
+// giving a fixed relative error of 1/histSub (12.5%) across the full
+// range. Recording is a single atomic add into a fixed array, so the
+// histogram is lock-free and safe for concurrent use.
+//
+// Histograms record only while the observability layer (internal/obs) is
+// enabled; every Record call site in this repository is gated on obs.On,
+// so a disabled build pays one predictable branch and never touches the
+// bucket array.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+const (
+	// histSubBits sub-bucket resolution: 8 linear buckets per power of
+	// two.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers values up to ~2^40 (about 18 minutes in
+	// nanoseconds); larger values clamp into the top bucket.
+	histBuckets = (40 - histSubBits + 1) * histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub*2 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - (histSubBits + 1)
+	idx := (exp+1)<<histSubBits + int((v>>uint(exp))&(histSub-1))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue is the lower bound of bucket idx, the value quantiles
+// report.
+func bucketValue(idx int) int64 {
+	if idx < histSub*2 {
+		return int64(idx)
+	}
+	exp := idx>>histSubBits - 1
+	sub := idx & (histSub - 1)
+	return int64(histSub+sub) << uint(exp)
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Reset zeroes the histogram. Like Reclamation.Reset it must not race
+// with recorders.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistSummary is a point-in-time digest of a Histogram. All fields are
+// scalars so Snapshot stays comparable; quantiles report the lower bound
+// of their bucket (≤12.5% below the true value). Min is the lower bound
+// of the lowest occupied bucket; Max is exact.
+type HistSummary struct {
+	Count int64
+	Sum   int64
+	Min   int64
+	Max   int64
+	P50   int64
+	P90   int64
+	P99   int64
+	P999  int64
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistSummary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Summary digests the histogram. Concurrent Records may or may not be
+// included; the digest is internally consistent enough for monitoring
+// (quantiles are computed from one pass over the buckets).
+func (h *Histogram) Summary() HistSummary {
+	var counts [histBuckets]int64
+	total := int64(0)
+	min := int64(-1)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c > 0 && min < 0 {
+			min = bucketValue(i)
+		}
+	}
+	s := HistSummary{Count: total, Sum: h.sum.Load(), Max: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Min = min
+	quantile := func(q float64) int64 {
+		target := int64(q * float64(total))
+		if target >= total {
+			target = total - 1
+		}
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum > target {
+				return bucketValue(i)
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	s.P999 = quantile(0.999)
+	return s
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBucketValueIsLowerBound(t *testing.T) {
+	// Every value must land in a bucket whose lower bound is ≤ the value
+	// and whose successor's lower bound is > the value (except in the
+	// clamped top bucket).
+	for _, v := range []uint64{0, 1, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<40 - 1} {
+		idx := bucketIndex(v)
+		lo := bucketValue(idx)
+		if uint64(lo) > v {
+			t.Errorf("bucketValue(%d)=%d above value %d", idx, lo, v)
+		}
+		if idx+1 < histBuckets {
+			if hi := bucketValue(idx + 1); uint64(hi) <= v {
+				t.Errorf("value %d not below next bucket bound %d (idx %d)", v, hi, idx)
+			}
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// The log-linear layout promises ≤1/histSub (12.5%) relative error:
+	// the reported lower bound is within that fraction of the true value.
+	for v := uint64(histSub * 2); v < 1<<30; v = v*9/8 + 1 {
+		lo := bucketValue(bucketIndex(v))
+		if err := float64(v-uint64(lo)) / float64(v); err > 1.0/histSub {
+			t.Fatalf("value %d reported as %d: relative error %.3f > %.3f", v, lo, err, 1.0/histSub)
+		}
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<16; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary = %+v, want zero", s)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 1000*1001/2 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1000*1001/2)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d, want 1000 (max is exact)", s.Max)
+	}
+	if s.Min != 1 {
+		t.Fatalf("min = %d, want 1", s.Min)
+	}
+	// Quantiles report bucket lower bounds, so allow the 12.5% error
+	// downward but never an overshoot.
+	check := func(name string, got, true_ int64) {
+		t.Helper()
+		if got > true_ || float64(true_-got)/float64(true_) > 1.0/histSub {
+			t.Errorf("%s = %d, want within 12.5%% below %d", name, got, true_)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p90", s.P90, 900)
+	check("p99", s.P99, 990)
+	if got := s.Mean(); got < 499 || got > 502 {
+		t.Fatalf("mean = %f, want ~500.5", got)
+	}
+}
+
+func TestHistogramClampsNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(1 << 62) // far past the covered range: top bucket
+	s := h.Summary()
+	if s.Count != 2 || s.Min != 0 || s.Max != 1<<62 {
+		t.Fatalf("summary = %+v", s)
+	}
+	h.Reset()
+	if h.Summary() != (HistSummary{}) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Record(base + i%1000)
+			}
+		}(int64(w * 100))
+	}
+	// Concurrent summaries must stay internally sane while recording.
+	for i := 0; i < 100; i++ {
+		s := h.Summary()
+		if s.Count < 0 || s.P999 < s.P50 {
+			t.Fatalf("inconsistent live summary: %+v", s)
+		}
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}

@@ -62,8 +62,22 @@ func (g *Gauge) Reset() {
 // ResetPeak re-bases the peak at the current level, keeping the level
 // itself. Benchmarks call this after prefilling so that the reported peak
 // reflects only the measured interval.
+//
+// Ordering contract: ResetPeak only ever *lowers* the peak, and it does so
+// with a CAS against the value it observed. A peak concurrently published
+// by Add's CAS-max loop therefore can never be overwritten by a stale
+// read: if Add raises the peak between ResetPeak's load and its CAS, the
+// CAS fails and the rebase re-evaluates against the fresh peak and level.
+// Under concurrent positive Adds the peak ends at least at the value of
+// every Add that completes after ResetPeak returns.
 func (g *Gauge) ResetPeak() {
-	g.peak.Store(g.cur.Load())
+	for {
+		p := g.peak.Load()
+		cur := g.cur.Load()
+		if p <= cur || g.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
 }
 
 // Reclamation aggregates the reclamation-related event counts a scheme
@@ -93,6 +107,24 @@ type Reclamation struct {
 	// Broadcasts counts neutralizations delivered by watchdog broadcasts,
 	// as opposed to the targeted Signals of ordinary epoch advance.
 	Broadcasts Counter
+
+	// The histograms below record only while the observability layer
+	// (internal/obs) is enabled; see the Histogram doc comment.
+
+	// PollLag is the epoch lag (global epoch minus announced handle
+	// epoch) observed at sampled BRCU poll points, in epochs.
+	PollLag Histogram
+	// CSNanos is the duration of (B)RCU critical sections, in nanoseconds,
+	// measured from the last Enter to the Exit: an attempt that rolls back
+	// re-Enters without an Exit, so its time is not recorded separately.
+	CSNanos Histogram
+	// GraceNanos is the grace-period length: the age of a deferred batch
+	// from its flush into the global task set until the drain that
+	// executes it, in nanoseconds.
+	GraceNanos Histogram
+	// ReclaimAgeNanos is the retire→reclaim age of individual nodes, from
+	// the outer Retire to the free, in nanoseconds.
+	ReclaimAgeNanos Histogram
 }
 
 // Snapshot is a point-in-time copy of a Reclamation, safe to compare and
@@ -108,6 +140,14 @@ type Snapshot struct {
 	ForcedAdvances      int64
 	WatchdogEscalations int64
 	Broadcasts          int64
+
+	// Histogram digests; all-zero unless the observability layer was
+	// enabled during the run. Summaries are scalar-only, so Snapshot
+	// remains comparable.
+	PollLag         HistSummary
+	CSNanos         HistSummary
+	GraceNanos      HistSummary
+	ReclaimAgeNanos HistSummary
 }
 
 // Snapshot captures the current values.
@@ -123,6 +163,10 @@ func (r *Reclamation) Snapshot() Snapshot {
 		ForcedAdvances:      r.ForcedAdvances.Load(),
 		WatchdogEscalations: r.WatchdogEscalations.Load(),
 		Broadcasts:          r.Broadcasts.Load(),
+		PollLag:             r.PollLag.Summary(),
+		CSNanos:             r.CSNanos.Summary(),
+		GraceNanos:          r.GraceNanos.Summary(),
+		ReclaimAgeNanos:     r.ReclaimAgeNanos.Summary(),
 	}
 }
 
@@ -137,4 +181,8 @@ func (r *Reclamation) Reset() {
 	r.ForcedAdvances.Reset()
 	r.WatchdogEscalations.Reset()
 	r.Broadcasts.Reset()
+	r.PollLag.Reset()
+	r.CSNanos.Reset()
+	r.GraceNanos.Reset()
+	r.ReclaimAgeNanos.Reset()
 }
