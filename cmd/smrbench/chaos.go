@@ -11,7 +11,10 @@ import (
 	"github.com/smrgo/hpbrcu/internal/chaos"
 )
 
-var chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
+var (
+	chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
+	chaosLeak  = flag.Bool("leak", false, "chaos: compose goroutine-death faults into every schedule; HP-BRCU runs the orphan reaper and gates on reap convergence")
+)
 
 // runChaos sweeps the fault-injection schedule corpus over the expedited
 // schemes and both list shapes, with the self-healing watchdog enabled,
@@ -36,24 +39,37 @@ func runChaos() {
 		fmt.Fprintln(os.Stderr, "chaos: no expedited scheme selected (need HP-RCU and/or HP-BRCU)")
 		os.Exit(2)
 	}
-	fmt.Printf("Chaos sweep: %d seeds × %d schedules, watchdog on\n", *chaosSeeds, len(chaos.Schedules))
+	schedules := chaos.Schedules
+	if *chaosLeak {
+		schedules = chaos.WithLeak(schedules)
+	}
+	fmt.Printf("Chaos sweep: %d seeds × %d schedules, watchdog on", *chaosSeeds, len(schedules))
+	if *chaosLeak {
+		fmt.Print(", goroutine-death faults + orphan reaper")
+	}
+	fmt.Println()
 
 	header := row{"scheme", "structure", "schedule", "runs", "survived", "faults fired", "escalations", "broadcasts"}
+	if *chaosLeak {
+		header = append(header, "leaked", "reaped")
+	}
 	var rows []row
 	var failures []string
 	for _, scheme := range sel {
 		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
-			for _, sched := range chaos.Schedules {
-				var fired, escalations, broadcasts uint64
+			for _, sched := range schedules {
+				var fired, escalations, broadcasts, leaked, reaped uint64
 				survived := 0
 				for seed := 1; seed <= *chaosSeeds; seed++ {
 					res := chaos.Run(chaos.Scenario{
 						Structure: st, Scheme: scheme, Seed: uint64(seed),
-						Schedule: sched, Watchdog: true,
+						Schedule: sched, Watchdog: true, Reaper: *chaosLeak,
 					})
 					fired += res.Fired
 					escalations += uint64(res.Stats.WatchdogEscalations)
 					broadcasts += uint64(res.Stats.Broadcasts)
+					leaked += res.Leaked
+					reaped += uint64(res.Stats.ReapedHandles)
 					if res.Survived() {
 						survived++
 					} else {
@@ -72,14 +88,18 @@ func runChaos() {
 						}
 					}
 				}
-				rows = append(rows, row{
+				r := row{
 					scheme.String(), string(st), sched.Name,
 					strconv.Itoa(*chaosSeeds),
 					fmt.Sprintf("%d/%d", survived, *chaosSeeds),
 					strconv.FormatUint(fired, 10),
 					strconv.FormatUint(escalations, 10),
 					strconv.FormatUint(broadcasts, 10),
-				})
+				}
+				if *chaosLeak {
+					r = append(r, strconv.FormatUint(leaked, 10), strconv.FormatUint(reaped, 10))
+				}
+				rows = append(rows, r)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -49,6 +50,20 @@ func parseExps(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// parseLeakRate parses the -leak-rate fraction: a float in [0, 1]. NaN
+// sneaks past plain range comparisons (every comparison is false), so it
+// is rejected explicitly.
+func parseLeakRate(s string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad leak rate %q", s)
+	}
+	if math.IsNaN(f) || f < 0 || f > 1 {
+		return 0, fmt.Errorf("leak rate %v outside [0, 1] (the fraction of writers that leak)", s)
+	}
+	return f, nil
 }
 
 // parseSchemes parses the -schemes filter case-insensitively, preserving

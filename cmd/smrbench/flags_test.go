@@ -69,6 +69,37 @@ func TestParseExps(t *testing.T) {
 	}
 }
 
+func TestParseLeakRate(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    float64
+		wantErr bool
+	}{
+		{"0", 0, false},
+		{"0.25", 0.25, false},
+		{"1", 1, false},
+		{" 0.5 ", 0.5, false},
+		{"-0.1", 0, true},
+		{"1.5", 0, true},
+		{"NaN", 0, true}, // NaN passes naive range checks; must be rejected
+		{"half", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseLeakRate(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseLeakRate(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseLeakRate(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := parseLeakRate("2"); err == nil || !strings.Contains(err.Error(), "outside [0, 1]") {
+		t.Errorf("parseLeakRate(2) error %v should name the valid window", err)
+	}
+}
+
 func TestParseSchemes(t *testing.T) {
 	tests := []struct {
 		in      string

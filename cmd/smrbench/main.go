@@ -13,10 +13,14 @@
 //	fig7       write-heavy/mixed throughput + memory vs threads (Figure 7)
 //	appendixB  the full grid: 4 mixes × 6 structures × 2 key ranges
 //	table1     applicability matrix (Table 1, benchmark structures)
-//	table2     robustness criteria incl. stalled-thread measurement (Table 2)
+//	table2     robustness criteria incl. stalled-thread measurement (Table 2);
+//	           -leak-rate kills a fraction of writers without Unregister and
+//	           -reaper runs the lease-based orphan reaper against the leaks
 //	ablation   design-choice sweeps (BackupPeriod, ForceThreshold, BatchSize)
 //	chaos      fault-injection sweep: seeds × schedules × schemes × lists,
-//	           watchdog on; exits nonzero on any invariant violation
+//	           watchdog on; exits nonzero on any invariant violation. -leak
+//	           composes goroutine-death faults into every schedule and turns
+//	           the reaper's convergence invariant into part of the gate
 //
 // Numbers are not comparable to the paper's 64/96-thread testbeds; the
 // shape (ordering, collapse points, boundedness) is what to compare. Use
@@ -43,6 +47,8 @@ var (
 	schemes    = flag.String("schemes", "", "comma-separated scheme filter (e.g. RCU,HP-BRCU)")
 	csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	debugTimes = flag.Bool("debugtimes", false, "print per-point wall time to stderr")
+	leakRate   = flag.String("leak-rate", "0", "table2: fraction of writers in [0,1] that die without unregistering")
+	reaper     = flag.Bool("reaper", false, "table2: run the lease-based orphan reaper (HP-BRCU only)")
 )
 
 func main() {
@@ -314,13 +320,35 @@ func runTable1() {
 }
 
 func runTable2() {
+	lr, err := parseLeakRate(*leakRate)
+	if err != nil {
+		fatalArg(err)
+	}
 	fmt.Println("Table 2: robustness — peak unreclaimed blocks with one thread")
 	fmt.Printf("stalled inside the scheme's read-side protection (%s of churn)\n", *duration)
+	if lr > 0 {
+		fmt.Printf("leak rate %.2f: that fraction of writers die without unregistering (reaper: %v)\n", lr, *reaper)
+	}
 	header := row{"scheme", "peak unreclaimed", "retired", "bound (2GN+GN²+H)", "signals", "robust?"}
+	if lr > 0 {
+		header = append(header, "reaped", "stuck")
+	}
 	var rows []row
 	for _, s := range schemeFilter() {
+		var cfg hpbrcu.Config
+		if *reaper && s == hpbrcu.HPBRCU {
+			// Aggressive timings so abandoned handles are reaped within a
+			// sub-second benchmark run, not after a production-scale lease.
+			cfg.Reaper = hpbrcu.ReaperConfig{
+				Enabled:      true,
+				LeaseTimeout: 25 * time.Millisecond,
+				Interval:     2 * time.Millisecond,
+				Grace:        5 * time.Millisecond,
+			}
+		}
 		res := bench.RunStalled(bench.StallConfig{
 			Scheme: s, Writers: 2, KeyRange: 256, Duration: *duration,
+			Config: cfg, LeakRate: lr,
 		})
 		bound := "-"
 		if res.Bound >= 0 {
@@ -330,14 +358,18 @@ func runTable2() {
 		if s.Robust() {
 			robust = "yes (bounded)"
 		}
-		rows = append(rows, row{
+		r := row{
 			s.String(),
 			strconv.FormatInt(res.PeakUnreclaimed, 10),
 			strconv.FormatInt(res.Retired, 10),
 			bound,
 			strconv.FormatInt(res.Signals, 10),
 			robust,
-		})
+		}
+		if lr > 0 {
+			r = append(r, strconv.FormatInt(res.Reaped, 10), strconv.FormatInt(res.Unreclaimed, 10))
+		}
+		rows = append(rows, r)
 	}
 	emit(header, rows)
 }

@@ -117,6 +117,13 @@ type Pool[T any] struct {
 	Allocated stats.Counter
 	Freed     stats.Counter
 	Live      stats.Gauge
+
+	// growGate, when set, is consulted before the pool carves fresh slots
+	// for a TryAlloc (freelist reuse is always allowed — recycling cannot
+	// increase the footprint). A non-nil error aborts the allocation; the
+	// backpressure layer installs reap.Backpressure.Admit here. Set via
+	// SetGrowGate before workers start; read without synchronization.
+	growGate func() error
 }
 
 // NewPool returns an empty pool.
@@ -167,6 +174,9 @@ func (p *Pool[T]) Hdr(slot uint64) *Header {
 	return &p.slabs[idx>>slabBits].Load().entries[idx&slabMask].hdr
 }
 
+// SetGrowGate installs the growth admission check; see the field comment.
+func (p *Pool[T]) SetGrowGate(gate func() error) { p.growGate = gate }
+
 // Alloc returns a Live node, reusing a freed slot when one is available.
 // The node's fields hold whatever the previous occupant left; callers must
 // initialize every field before publishing the node.
@@ -177,8 +187,30 @@ func (p *Pool[T]) Alloc(c *Cache[T]) (slot uint64, node *T) {
 		fault.Fire(fault.SiteAllocStall)
 	}
 	if len(c.slots) == 0 {
-		p.refill(c)
+		_ = p.refill(c, false)
 	}
+	return p.take(c)
+}
+
+// TryAlloc is Alloc behind the grow gate: if the cache and the freelist
+// are empty and the gate refuses pool growth (memory pressure), it
+// returns the gate's error instead of carving fresh slots. With no gate
+// installed it is identical to Alloc.
+func (p *Pool[T]) TryAlloc(c *Cache[T]) (slot uint64, node *T, err error) {
+	if fault.On {
+		fault.Fire(fault.SiteAllocStall)
+	}
+	if len(c.slots) == 0 {
+		if err := p.refill(c, true); err != nil {
+			return 0, nil, err
+		}
+	}
+	slot, node = p.take(c)
+	return slot, node, nil
+}
+
+// take pops one cached slot and marks it Live.
+func (p *Pool[T]) take(c *Cache[T]) (slot uint64, node *T) {
 	slot = c.slots[len(c.slots)-1]
 	c.slots = c.slots[:len(c.slots)-1]
 
@@ -192,8 +224,10 @@ func (p *Pool[T]) Alloc(c *Cache[T]) (slot uint64, node *T) {
 }
 
 // refill moves slots into the cache from the shared freelist, growing a
-// fresh slab when the freelist is empty.
-func (p *Pool[T]) refill(c *Cache[T]) {
+// fresh slab when the freelist is empty. With gated set, the grow gate is
+// consulted before fresh slots are carved (never before freelist reuse);
+// its error is returned with the cache left empty.
+func (p *Pool[T]) refill(c *Cache[T], gated bool) error {
 	batch := cacheBatch
 	if fault.On && fault.Fire(fault.SiteAllocExhaust) {
 		// Pool exhaustion: refill a single slot, maximizing freelist
@@ -209,9 +243,15 @@ func (p *Pool[T]) refill(c *Cache[T]) {
 		c.slots = append(c.slots, p.freeList[n-take:]...)
 		p.freeList = p.freeList[:n-take]
 		p.freeMu.Unlock()
-		return
+		return nil
 	}
 	p.freeMu.Unlock()
+
+	if gated && p.growGate != nil {
+		if err := p.growGate(); err != nil {
+			return err
+		}
+	}
 
 	p.growMu.Lock()
 	start := p.nextSlot
@@ -237,6 +277,7 @@ func (p *Pool[T]) refill(c *Cache[T]) {
 		// is outpacing reclamation.
 		c.trace.Rec(obs.EvSlabGrow, int64(batch))
 	}
+	return nil
 }
 
 // FreeSlot reclaims the slot: the node must be Retired. The node is

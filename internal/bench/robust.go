@@ -25,6 +25,11 @@ type StallResult struct {
 	Retired         int64
 	Bound           int64 // §5 bound for HP-BRCU, -1 when unbounded/N.A.
 	Signals         int64
+	// Reaped and Unreclaimed report the lease reaper's work when LeakRate
+	// made some writers die without unregistering (HP-BRCU with
+	// Config.Reaper.Enabled only; 0 otherwise).
+	Reaped      int64
+	Unreclaimed int64
 }
 
 // StallConfig configures the stalled-thread robustness experiment.
@@ -34,6 +39,10 @@ type StallConfig struct {
 	KeyRange int64
 	Duration time.Duration
 	Config   hpbrcu.Config
+	// LeakRate is the fraction of writers ([0,1]) that leak: they stop
+	// without Unregister or Barrier, abandoning their handles mid-churn —
+	// the goroutine-death experiment behind `smrbench -leak-rate`.
+	LeakRate float64
 }
 
 // RunStalled runs the experiment: the stalled thread enters the scheme's
@@ -60,6 +69,9 @@ func RunStalled(cfg StallConfig) StallResult {
 		// has seen the true peak handle and shield counts; nil means the
 		// scheme has no bound (reported as -1).
 		boundFn func() int64
+		// reaperStop stops the lease reaper after the leak-convergence
+		// wait; nil when no reaper runs.
+		reaperStop func()
 	)
 
 	switch cfg.Scheme {
@@ -120,6 +132,12 @@ func RunStalled(cfg StallConfig) StallResult {
 	case hpbrcu.HPBRCU:
 		l := hlist.NewHPBRCU(cfg.Config.CoreConfig())
 		register = func() churnHandle { return l.Register() }
+		if cfg.Config.Reaper.Enabled {
+			// Lease gate before any worker registers (plain-bool
+			// activation contract; see core.StartReaper).
+			rp := l.Domain().StartReaper(cfg.Config.CoreReaperConfig())
+			reaperStop = rp.Stop
+		}
 		stall = func() func() {
 			h := l.Domain().Register()
 			h.Pin()
@@ -140,27 +158,52 @@ func RunStalled(cfg StallConfig) StallResult {
 		cfg.Scheme, cfg.Writers, cfg.KeyRange), rec)
 	unstall := stall()
 
+	// The first `leakers` writers die without unregistering — a leak the
+	// reaper (when configured) must recover from.
+	leakers := int(cfg.LeakRate*float64(cfg.Writers) + 0.5)
+	if leakers > cfg.Writers {
+		leakers = cfg.Writers
+	}
+
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Writers; w++ {
 		wg.Add(1)
-		go func(seed uint64) {
+		go func(w int) {
 			defer wg.Done()
 			labelWorker(HList, cfg.Scheme, "writer")
 			h := register()
-			defer h.Unregister()
-			rng := atomicx.NewRand(seed + 1)
+			leak := w < leakers
+			if !leak {
+				defer h.Unregister()
+			}
+			rng := atomicx.NewRand(uint64(w) + 1)
 			for !stop.Load() {
 				k := rng.Intn(cfg.KeyRange)
 				h.Insert(k, k)
 				h.Remove(k)
+				if leak && rng.Intn(1024) == 0 {
+					return // goroutine death: handle abandoned mid-churn
+				}
 			}
-		}(uint64(w))
+		}(w)
 	}
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	unstall()
+
+	if reaperStop != nil {
+		if leakers > 0 {
+			// Let the reaper converge on the abandoned handles before
+			// reading the books.
+			deadline := time.Now().Add(5 * time.Second)
+			for rec.ReapedHandles.Load() < int64(leakers) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		reaperStop()
+	}
 
 	bound := int64(-1)
 	if boundFn != nil {
@@ -173,5 +216,7 @@ func RunStalled(cfg StallConfig) StallResult {
 		Retired:         s.Retired,
 		Bound:           bound,
 		Signals:         s.Signals,
+		Reaped:          s.ReapedHandles,
+		Unreclaimed:     s.Unreclaimed,
 	}
 }

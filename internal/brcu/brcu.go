@@ -31,8 +31,10 @@
 package brcu
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/smrgo/hpbrcu/internal/alloc"
 	"github.com/smrgo/hpbrcu/internal/atomicx"
@@ -55,9 +57,22 @@ const (
 	// phaseRbReq: neutralized; the thread must roll back at its next poll
 	// (or masked-region exit).
 	phaseRbReq
+	// phaseQuarantined: the lease reaper suspects the owner goroutine is
+	// dead (stale lease, no live critical section) — phase one of the
+	// two-phase reap. The owner cancels with a CAS back to Out at its
+	// next entry point; the reaper confirms by CASing to Reaping after
+	// the grace period. See internal/reap and DESIGN.md §9.
+	phaseQuarantined
+	// phaseReaping: the reaper is adopting the handle's deferred state.
+	// A waking owner spins until phaseReaped before resurrecting.
+	phaseReaping
+	// phaseReaped: the handle was reaped — removed from the registry,
+	// its batch and shields adopted. A waking owner re-registers
+	// (resurrects) before continuing.
+	phaseReaped
 )
 
-const phaseBits = 2
+const phaseBits = 3
 
 func pack(phase, epoch uint64) uint64 { return epoch<<phaseBits | phase }
 func unpack(st uint64) (phase, epoch uint64) {
@@ -100,6 +115,16 @@ type Domain struct {
 	// population tracks registered handles and their peak, so the §5
 	// bound can be evaluated after the fact with the N actually observed.
 	population stats.Gauge
+
+	// Lease machinery (internal/reap, DESIGN.md §9). clock is the coarse
+	// activity clock the reaper publishes each tick; handles copy it into
+	// their lease word with one relaxed store at Enter/Exit/Poll/Defer.
+	// leaseOn gates those stores and follows the fault.On contract: set
+	// once by EnableLeases before any worker goroutine touches a handle,
+	// plain loads thereafter.
+	clock   atomic.Int64
+	_       atomicx.PadAfter
+	leaseOn bool
 
 	tasksMu sync.Mutex
 	tasks   []taggedBatch
@@ -174,6 +199,20 @@ func (d *Domain) GarbageBoundObserved() int64 {
 	return d.GarbageBoundFor(d.HandlesPeak())
 }
 
+// EnableLeases turns on lease stamping for this domain. It must be called
+// before any goroutine uses a handle (the fault.On activation contract);
+// core.StartReaper does so at construction time.
+func (d *Domain) EnableLeases() {
+	d.leaseOn = true
+	d.clock.Store(time.Now().UnixNano())
+}
+
+// PublishClock publishes now (UnixNano) as the domain's activity clock.
+// The reaper calls this once per tick; handles copy the value with one
+// relaxed store at their next activity point, so lease staleness is
+// measured in reaper ticks without any handle ever reading the wall clock.
+func (d *Domain) PublishClock(now int64) { d.clock.Store(now) }
+
 // Handle is one thread's participation record (Algorithm 5 lines 8-13).
 // Not safe for concurrent use by multiple goroutines; the status word is
 // read and CASed by reclaimers.
@@ -181,10 +220,25 @@ type Handle struct {
 	status atomic.Uint64 // packed {phase, epoch}
 	_      atomicx.PadAfter
 
+	// lease is the last observed domain clock (UnixNano). The owner's
+	// stores double as the release edge that publishes its batch
+	// mutations to the reaper; see StampLease and Lease.
+	lease atomic.Int64
+	_     atomicx.PadAfter
+
 	d       *Domain
 	batch   []alloc.Retired
 	pushCnt int
 	exec    func(alloc.Retired)
+
+	// gen counts resurrections (owner-goroutine-only): a reaped handle
+	// whose owner turns out to be alive re-registers and bumps gen, so
+	// the Traverse engine knows its checkpointed protections were cleared
+	// by the reaper and restarts from scratch.
+	gen uint64
+	// onResurrect re-registers composed per-scheme state (the HP half,
+	// core-domain membership) when a reaped handle resurrects.
+	onResurrect func()
 
 	// Observability state, touched only past the obs.On gate. trace is
 	// nil-safe; pollN samples the epoch-lag histogram; csStart times the
@@ -209,6 +263,9 @@ func (d *Domain) Register() *Handle {
 	if obs.On {
 		h.trace = obs.NewTrace("brcu")
 	}
+	// A fresh handle starts with a live lease even if it never performs
+	// an operation before the reaper's first look at it.
+	h.lease.Store(time.Now().UnixNano())
 	d.handles.Add(h)
 	d.population.Add(1)
 	return h
@@ -218,8 +275,167 @@ func (d *Domain) Register() *Handle {
 // installs the inner HP-Retire here, Algorithm 4).
 func (h *Handle) SetExecutor(exec func(alloc.Retired)) { h.exec = exec }
 
+// SetResurrect installs the hook run when a reaped handle's owner turns
+// out to be alive and re-registers (internal/core re-adds the HP half and
+// the domain membership there). Owner-goroutine-only, set at registration.
+func (h *Handle) SetResurrect(fn func()) { h.onResurrect = fn }
+
+// Lease returns the handle's last activity stamp (UnixNano). The reaper's
+// load of this word is also the acquire edge that orders the owner's last
+// batch mutations before any adoption (see DESIGN.md §9).
+func (h *Handle) Lease() int64 { return h.lease.Load() }
+
+// StampLease refreshes the activity lease, publishing any preceding batch
+// or retired-list mutations to the reaper. No-op while leases are off.
+func (h *Handle) StampLease() {
+	if h.d.leaseOn {
+		h.lease.Store(h.d.clock.Load())
+	}
+}
+
+// Gen returns the handle's resurrection generation. It changes only
+// inside Enter (via ensureLive), on the owner goroutine; the Traverse
+// engine compares it across Enters to detect a reap-and-resurrect, whose
+// shield clearing invalidates checkpointed cursors.
+func (h *Handle) Gen() uint64 { return h.gen }
+
+// settle resolves the reaper-transient phases: it cancels a pending
+// quarantine (the owner-wins CAS of the two-phase protocol) and waits out
+// an in-flight adoption. It returns the resulting phase; phaseReaped
+// means the handle has been reaped and its state adopted.
+func (h *Handle) settle() uint64 {
+	for {
+		st := h.status.Load()
+		ph, _ := unpack(st)
+		switch ph {
+		case phaseQuarantined:
+			if h.status.CompareAndSwap(st, pack(phaseOut, 0)) {
+				return phaseOut
+			}
+			// Lost to the reaper's Quarantined→Reaping CAS; re-read.
+		case phaseReaping:
+			// Adoption is short and bounded (two slice moves under
+			// domain mutexes); wait for FinishReap.
+			runtime.Gosched()
+		default:
+			return ph
+		}
+	}
+}
+
+// ensureLive is the owner-side half of the reap protocol, called at every
+// rollback-unsafe entry point while leases are enabled: it cancels a
+// pending quarantine, resurrects a reaped handle, and refreshes the lease.
+func (h *Handle) ensureLive() {
+	if h.settle() == phaseReaped {
+		h.resurrect()
+	}
+	h.lease.Store(h.d.clock.Load())
+}
+
+// resurrect re-registers a reaped handle whose owner turned out to be
+// alive. The reaper already adopted the old batch and retired list and
+// cleared the shields, so the handle restarts empty; bumping gen tells the
+// Traverse engine to discard checkpoints the pre-reap shields protected.
+func (h *Handle) resurrect() {
+	h.batch = nil
+	h.pushCnt = 0
+	h.gen++
+	d := h.d
+	d.handles.Add(h)
+	d.population.Add(1)
+	if h.onResurrect != nil {
+		h.onResurrect()
+	}
+	h.status.Store(pack(phaseOut, 0))
+}
+
+// TryQuarantine begins a reap: CAS Out/RbReq → Quarantined. It fails when
+// the handle is inside a live critical section (a stalled-but-registered
+// section is neutralization's and the watchdog's job, not the reaper's)
+// or already mid-reap. Re-quarantining an already-quarantined handle
+// succeeds, so a reaper that lost track (restart, missed tick) re-arms
+// the grace period instead of wedging the handle in Quarantined forever.
+func (h *Handle) TryQuarantine() bool {
+	for {
+		st := h.status.Load()
+		switch ph, _ := unpack(st); ph {
+		case phaseQuarantined:
+			return true
+		case phaseOut, phaseRbReq:
+			if h.status.CompareAndSwap(st, pack(phaseQuarantined, 0)) {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// TryBeginReap confirms a quarantined handle dead: CAS Quarantined →
+// Reaping. Failure means the owner woke up and cancelled the quarantine.
+// Only the reaper calls this, after the grace period.
+func (h *Handle) TryBeginReap() bool {
+	return h.status.CompareAndSwap(pack(phaseQuarantined, 0), pack(phaseReaping, 0))
+}
+
+// FinishReap publishes the end of adoption: Reaping → Reaped. An owner
+// spinning in settle proceeds to resurrect only after this store, which
+// is what makes adoption atomic against resurrection.
+func (h *Handle) FinishReap() { h.status.Store(pack(phaseReaped, 0)) }
+
+// AdoptBatch moves the handle's local deferred batch into the global task
+// set, tagged with the current epoch, as if the (dead) owner had flushed
+// it. The tag is conservative: the batch executes only after a further
+// epoch advance, strictly later than the owner's own flush would have
+// allowed, so the §5 safety argument is unchanged. Reaper-only, between
+// TryBeginReap and FinishReap; returns the number of adopted tasks.
+func (h *Handle) AdoptBatch() int {
+	n := len(h.batch)
+	if n == 0 {
+		h.batch = nil
+		return 0
+	}
+	d := h.d
+	var ts int64
+	if obs.On {
+		ts = obs.Nanos()
+	}
+	// The backing array moves to the global set wholesale; a resurrected
+	// owner starts from a nil batch and can never touch it again.
+	b := taggedBatch{epoch: d.epoch.Load(), flushed: ts, tasks: h.batch}
+	h.batch = nil
+	d.tasksMu.Lock()
+	d.tasks = append(d.tasks, b)
+	d.tasksMu.Unlock()
+	return n
+}
+
+// RemoveAll bulk-removes reaped handles from the registry with a single
+// copy-on-write publication.
+func (d *Domain) RemoveAll(hs []*Handle) {
+	if len(hs) == 0 {
+		return
+	}
+	set := make(map[*Handle]bool, len(hs))
+	for _, h := range hs {
+		set[h] = true
+	}
+	d.handles.RemoveWhere(func(h *Handle) bool { return set[h] })
+	d.population.Add(-int64(len(hs)))
+}
+
 // Unregister removes the thread, flushing pending deferred tasks first.
+// Unregistering a handle the reaper already adopted is a no-op.
 func (h *Handle) Unregister() {
+	if h.d.leaseOn {
+		if h.settle() == phaseReaped {
+			// The reaper adopted this handle's state and removed it
+			// from the registry; nothing is left to release.
+			return
+		}
+		h.lease.Store(h.d.clock.Load())
+	}
 	if ph, _ := unpack(h.status.Load()); ph == phaseInCs || ph == phaseInRm {
 		panic("brcu: unregister inside a critical section")
 	}
@@ -234,6 +450,9 @@ func (h *Handle) Unregister() {
 // announces InCs with the current global epoch (Algorithm 5 line 16). Any
 // pending RbReq from a previous section is superseded.
 func (h *Handle) Enter() {
+	if h.d.leaseOn {
+		h.ensureLive()
+	}
 	if obs.On {
 		h.csStart = obs.Nanos()
 	}
@@ -250,6 +469,9 @@ func (h *Handle) Poll() bool {
 		fault.Fire(fault.SitePoll)
 	}
 	ph, e := unpack(h.status.Load())
+	if h.d.leaseOn {
+		h.lease.Store(h.d.clock.Load())
+	}
 	if obs.On {
 		// Sample the epoch lag every 64th poll: frequent enough to see
 		// a lagging traversal, cheap enough to leave the hot path alone.
@@ -257,7 +479,9 @@ func (h *Handle) Poll() bool {
 			h.d.rec.PollLag.Record(int64(h.d.epoch.Load()) - int64(e))
 		}
 	}
-	return ph != phaseRbReq
+	// The reaper phases (≥ RbReq) also demand a rollback: the next Enter
+	// runs ensureLive, which cancels a quarantine or resurrects.
+	return ph < phaseRbReq
 }
 
 // SelfNeutralize marks this handle as neutralized, exactly as if a
@@ -288,7 +512,9 @@ func (h *Handle) SelfNeutralize() bool {
 func (h *Handle) Refresh() bool {
 	st := h.status.Load()
 	ph, _ := unpack(st)
-	if ph == phaseRbReq {
+	if ph != phaseInCs {
+		// RbReq or a reaper phase: the caller must roll back (and Enter,
+		// which resolves the reaper phases via ensureLive).
 		return false
 	}
 	e := h.d.epoch.Load()
@@ -301,10 +527,31 @@ func (h *Handle) Refresh() bool {
 // its results with a successful Poll after its last protection, so
 // completing instead of rolling back is safe (see package comment).
 func (h *Handle) Exit() {
-	h.status.Store(pack(phaseOut, 0))
+	if h.d.leaseOn {
+		h.exitLeased()
+	} else {
+		h.status.Store(pack(phaseOut, 0))
+	}
 	if obs.On && h.csStart != 0 {
 		h.d.rec.CSNanos.Record(obs.Nanos() - h.csStart)
 		h.csStart = 0
+	}
+}
+
+// exitLeased is Exit with the reap protocol live: a blind store could
+// smash a Quarantined/Reaping/Reaped word the reaper owns, so leave those
+// phases alone (the next Enter resolves them through ensureLive) and CAS
+// everything else to Out.
+func (h *Handle) exitLeased() {
+	for {
+		st := h.status.Load()
+		if ph, _ := unpack(st); ph >= phaseQuarantined {
+			return
+		}
+		if h.status.CompareAndSwap(st, pack(phaseOut, 0)) {
+			h.lease.Store(h.d.clock.Load())
+			return
+		}
 	}
 }
 
@@ -352,7 +599,9 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 	st := h.status.Load()
 	ph, e := unpack(st)
 	if ph != phaseInCs {
-		if ph == phaseRbReq {
+		if ph >= phaseRbReq {
+			// Neutralized (or quarantined by the reaper): roll back
+			// before any masked write; Enter resolves the phase.
 			return false, true
 		}
 		panic("brcu: Mask outside a critical section")
@@ -401,18 +650,31 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	// only run under an abort mask, where the rollback is deferred past
 	// it. Catch the misuse that would otherwise corrupt the task
 	// registry on a rollback.
-	if ph, _ := unpack(h.status.Load()); ph == phaseInCs {
+	ph, _ := unpack(h.status.Load())
+	if ph == phaseInCs {
 		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1)")
+	}
+	if h.d.leaseOn && ph != phaseInRm {
+		// Outside any section the reaper may have quarantined or even
+		// reaped us; resolve before mutating the batch. (Inside a masked
+		// region the status word already says InRm, which the reaper
+		// never touches.)
+		h.ensureLive()
 	}
 	r := alloc.Retired{Slot: slot, Pool: pool}
 	if obs.On {
 		r.At = obs.Nanos()
 	}
 	h.batch = append(h.batch, r)
-	if len(h.batch) < h.d.maxLocalTasks {
-		return
+	if len(h.batch) >= h.d.maxLocalTasks {
+		h.flushAndAdvance()
 	}
-	h.flushAndAdvance()
+	if h.d.leaseOn {
+		// Release edge: publishes the batch mutation above to the reaper
+		// (whose Lease() load is the matching acquire) before the lease
+		// can look fresh.
+		h.lease.Store(h.d.clock.Load())
+	}
 }
 
 // flush moves the local batch to the global task set tagged with the
@@ -502,8 +764,9 @@ func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bo
 		st := other.status.Load()
 		ph, eo := unpack(st)
 		// Only live critical sections block the epoch; RbReq threads are
-		// already doomed and Out threads are absent (line 30).
-		if ph == phaseOut || ph == phaseRbReq || eo >= eg {
+		// already doomed, Out threads are absent (line 30), and the
+		// reaper phases (≥ RbReq) have no live section either.
+		if ph == phaseOut || ph >= phaseRbReq || eo >= eg {
 			return true, false
 		}
 		if h.pushCnt < int(d.effForce.Load()) {
@@ -574,10 +837,25 @@ func (h *Handle) executeExpired(eg uint64) {
 // until they have executed. Used by teardown paths and tests; concurrent
 // critical sections will be neutralized.
 func (h *Handle) Barrier() {
-	for i := 0; i < 4; i++ {
-		h.pushCnt = h.d.forceThreshold // force (≥ the effective threshold)
-		h.flushAndAdvance()
+	if h.d.leaseOn {
+		h.ensureLive()
 	}
+	for i := 0; i < 4; i++ {
+		h.ForceFlush()
+	}
+	if h.d.leaseOn {
+		// Release edge for the flush's batch mutations (see DeferNoCount).
+		h.lease.Store(h.d.clock.Load())
+	}
+}
+
+// ForceFlush performs one forced flush-and-advance round: the batch is
+// pushed regardless of size and the advance signals laggards immediately.
+// The emergency-drain tier of the backpressure ladder calls this from the
+// retire path (internal/core).
+func (h *Handle) ForceFlush() {
+	h.pushCnt = h.d.forceThreshold // force (≥ the effective threshold)
+	h.flushAndAdvance()
 }
 
 // pendingBatches reports how many flushed batches are waiting in the

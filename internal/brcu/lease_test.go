@@ -1,0 +1,225 @@
+package brcu
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+)
+
+// leaseDomain builds a domain with leases on and a large batch so deferred
+// tasks stay local (the interesting state for adoption).
+func leaseDomain(t *testing.T) *Domain {
+	t.Helper()
+	d := NewDomain(nil, WithMaxLocalTasks(1024), WithForceThreshold(1000000))
+	d.EnableLeases()
+	return d
+}
+
+func TestQuarantineReapAdoptsBatch(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := leaseDomain(t)
+	victim := d.Register()
+	for i := 0; i < 5; i++ {
+		retireOne(t, pool, cache, victim)
+	}
+	if len(victim.batch) != 5 {
+		t.Fatalf("victim batch = %d, want 5 local tasks", len(victim.batch))
+	}
+
+	// Two-phase reap: quarantine, confirm, adopt, publish.
+	if !victim.TryQuarantine() {
+		t.Fatal("TryQuarantine failed on an out-of-CS handle")
+	}
+	if !victim.TryQuarantine() {
+		t.Fatal("re-quarantine of a quarantined handle must succeed (re-arm)")
+	}
+	if !victim.TryBeginReap() {
+		t.Fatal("TryBeginReap failed on a quarantined handle")
+	}
+	if n := victim.AdoptBatch(); n != 5 {
+		t.Fatalf("AdoptBatch = %d, want 5", n)
+	}
+	if victim.batch != nil {
+		t.Fatal("victim batch not detached after adoption")
+	}
+	if got := d.pendingBatches(); got != 1 {
+		t.Fatalf("pendingBatches = %d, want 1 adopted batch", got)
+	}
+	victim.FinishReap()
+	d.RemoveAll([]*Handle{victim})
+	if d.handles.Len() != 0 {
+		t.Fatalf("registry has %d handles after RemoveAll", d.handles.Len())
+	}
+
+	// A fresh handle's barrier drains the adopted garbage: the leak is
+	// recovered without the dead owner's cooperation.
+	drainer := d.Register()
+	drainer.Barrier()
+	drainer.Unregister()
+	if got := d.rec.Unreclaimed.Load(); got != 0 {
+		t.Fatalf("unreclaimed = %d after adopting drain, want 0", got)
+	}
+}
+
+func TestOwnerCancelsQuarantine(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	defer func() {
+		h.Exit()
+		h.Unregister()
+	}()
+
+	if !h.TryQuarantine() {
+		t.Fatal("TryQuarantine failed")
+	}
+	// The owner wakes up: Enter resolves the quarantine via the owner-wins
+	// CAS, so the reaper's confirmation must fail.
+	h.Enter()
+	if h.TryBeginReap() {
+		t.Fatal("TryBeginReap succeeded after the owner cancelled the quarantine")
+	}
+	if h.Gen() != 0 {
+		t.Fatal("cancelling a quarantine must not count as a resurrection")
+	}
+}
+
+func TestQuarantineRefusedInsideCS(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	h.Enter()
+	if h.TryQuarantine() {
+		t.Fatal("TryQuarantine succeeded inside a live critical section")
+	}
+	h.Exit()
+	h.Unregister()
+}
+
+func TestExitPreservesReaperPhases(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	if !h.TryQuarantine() {
+		t.Fatal("TryQuarantine failed")
+	}
+	// A racing Exit (e.g. a slow owner finishing a section the reaper
+	// already gave up on) must not smash the reaper-owned word.
+	h.Exit()
+	if ph, _ := unpack(h.status.Load()); ph != phaseQuarantined {
+		t.Fatalf("Exit overwrote quarantine: phase = %d", ph)
+	}
+	// The owner's next Enter still resolves it.
+	h.Enter()
+	if ph, _ := unpack(h.status.Load()); ph != phaseInCs {
+		t.Fatalf("Enter did not resolve quarantine: phase = %d", ph)
+	}
+	h.Exit()
+	h.Unregister()
+}
+
+func TestResurrectionAfterReap(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := leaseDomain(t)
+	h := d.Register()
+	retireOne(t, pool, cache, h)
+
+	hooked := false
+	h.SetResurrect(func() { hooked = true })
+
+	if !h.TryQuarantine() || !h.TryBeginReap() {
+		t.Fatal("reap protocol refused an idle handle")
+	}
+	h.AdoptBatch()
+	h.FinishReap()
+	d.RemoveAll([]*Handle{h})
+
+	// The owner was merely slow, not dead: its next Enter resurrects.
+	h.Enter()
+	if !hooked {
+		t.Fatal("resurrect hook did not run")
+	}
+	if h.Gen() != 1 {
+		t.Fatalf("gen = %d after one resurrection, want 1", h.Gen())
+	}
+	if d.handles.Len() != 1 {
+		t.Fatalf("registry has %d handles after resurrection, want 1", d.handles.Len())
+	}
+	if len(h.batch) != 0 {
+		t.Fatal("resurrected handle inherited a batch the reaper adopted")
+	}
+	h.Exit()
+	h.Unregister()
+	if d.handles.Len() != 0 {
+		t.Fatal("unregister after resurrection left the handle registered")
+	}
+}
+
+func TestUnregisterAfterReapIsNoop(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	if !h.TryQuarantine() || !h.TryBeginReap() {
+		t.Fatal("reap protocol refused an idle handle")
+	}
+	h.AdoptBatch()
+	h.FinishReap()
+	d.RemoveAll([]*Handle{h})
+
+	// A defer-ed Unregister finally firing on a reaped handle must not
+	// double-remove or flush adopted state.
+	h.Unregister()
+	if d.handles.Len() != 0 {
+		t.Fatalf("registry has %d handles, want 0", d.handles.Len())
+	}
+	if got := d.population.Peak(); got != 1 {
+		t.Fatalf("population peak = %d, want 1", got)
+	}
+}
+
+func TestLeaseStampsFollowClock(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	defer h.Unregister()
+
+	now := time.Now().UnixNano()
+	for i, touch := range []func(){
+		func() { h.Enter(); h.Exit() },
+		func() { h.Enter(); h.Poll(); h.Exit() },
+		func() { h.StampLease() },
+		func() { h.Barrier() },
+	} {
+		now += int64(time.Second)
+		d.PublishClock(now)
+		touch()
+		if got := h.Lease(); got != now {
+			t.Fatalf("touch %d: lease = %d, want published clock %d", i, got, now)
+		}
+	}
+}
+
+func TestPollReportsReaperPhases(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	h.Enter()
+	if !h.Poll() {
+		t.Fatal("Poll failed in a healthy critical section")
+	}
+	h.Exit()
+	if !h.TryQuarantine() {
+		t.Fatal("TryQuarantine failed")
+	}
+	// A traversal that somehow observes a reaper phase must roll back to
+	// Enter, which resolves it.
+	if h.Poll() {
+		t.Fatal("Poll passed while quarantined")
+	}
+	if _, mustRollback := h.Mask(func() {}); !mustRollback {
+		t.Fatal("Mask must demand rollback while quarantined")
+	}
+	if h.Refresh() {
+		t.Fatal("Refresh succeeded while quarantined")
+	}
+	h.Enter()
+	h.Exit()
+	h.Unregister()
+}

@@ -151,6 +151,16 @@ func (w *Watchdog) run() {
 			continue
 		}
 
+		// Quiet but dirty: no batches queued, yet the unreclaimed gauge is
+		// nonzero. A past broadcast may have parked nodes in this handle's
+		// own retired batch that a then-live shield protected; once those
+		// owners exit (or die and are reaped) nothing else will ever reclaim
+		// them, so sweep here. PostDrain is a bounded scan, and this state
+		// is rare in a healthy domain.
+		if queued == 0 && unreclaimed > 0 && w.cfg.PostDrain != nil {
+			w.cfg.PostDrain()
+		}
+
 		// Healthy tick: walk the effective threshold back up toward the
 		// configured value, one doubling per calm streak.
 		if eff := d.effForce.Load(); eff < int32(d.forceThreshold) {
@@ -203,7 +213,9 @@ func (w *Watchdog) broadcast() {
 		for {
 			st := other.status.Load()
 			ph, e := unpack(st)
-			if ph == phaseOut || ph == phaseRbReq {
+			if ph == phaseOut || ph >= phaseRbReq {
+				// Out, already neutralized, or owned by the lease reaper
+				// (quarantined/reaping/reaped) — nothing to broadcast to.
 				break
 			}
 			if other.status.CompareAndSwap(st, pack(phaseRbReq, e)) {

@@ -29,6 +29,8 @@ package chaos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
 	"github.com/smrgo/hpbrcu/internal/bench"
@@ -97,6 +99,21 @@ var Schedules = []Schedule{
 	})},
 }
 
+// WithLeak returns a copy of scheds with a goroutine-death plan composed
+// into each schedule (and "+leak" appended to its name): every ~1500th
+// arrival at the leak site kills a worker mid-stream, abandoning its
+// registered handle. With Scenario.Reaper set, Run asserts that every
+// such leak is reaped and its adopted garbage drained.
+func WithLeak(scheds []Schedule) []Schedule {
+	out := make([]Schedule, len(scheds))
+	for i, s := range scheds {
+		out[i] = s
+		out[i].Name = s.Name + "+leak"
+		out[i].Plans[fault.SiteLeak] = Plan{Period: 1500}
+	}
+	return out
+}
+
 func plans(m map[fault.Site]Plan) [fault.NumSites]Plan {
 	var out [fault.NumSites]Plan
 	for s, p := range m {
@@ -128,6 +145,12 @@ type Scenario struct {
 	// Watchdog runs the self-healing BRCU watchdog during the scenario
 	// (HP-BRCU only; ignored elsewhere).
 	Watchdog bool
+	// Reaper runs the lease-based orphan reaper during the scenario
+	// (HP-BRCU only; ignored elsewhere). With a SiteLeak plan active it
+	// turns killed workers from permanent leaks into reaped-and-adopted
+	// handles, and Run asserts the convergence invariant: every leak is
+	// eventually reaped and the books still balance.
+	Reaper bool
 	// Config overrides the map configuration. The zero value selects
 	// hostile chaos defaults (small batches, short checkpoint distance).
 	Config hpbrcu.Config
@@ -140,6 +163,9 @@ type Result struct {
 	Fired      uint64   // total faults injected
 	Stats      hpbrcu.StatsSnapshot
 	Bound      int64 // observed §5 bound (HP-BRCU), else -1
+	// Leaked is how many workers a SiteLeak fault killed mid-run,
+	// abandoning their registered handles.
+	Leaked uint64
 	// TraceTail is the merged tail of every handle's event trace
 	// (internal/obs), collected after the workers quiesced. On a
 	// violation it shows what the reclamation core was doing when the
@@ -200,6 +226,17 @@ func Run(sc Scenario) Result {
 	if sc.Watchdog && sc.Scheme == hpbrcu.HPBRCU {
 		cfg.Watchdog = true
 	}
+	reaperOn := sc.Reaper && sc.Scheme == hpbrcu.HPBRCU
+	if reaperOn {
+		// Aggressive timings so leaked handles are reaped within the run,
+		// not after a human-scale lease timeout.
+		cfg.Reaper = hpbrcu.ReaperConfig{
+			Enabled:      true,
+			LeaseTimeout: 20 * time.Millisecond,
+			Interval:     2 * time.Millisecond,
+			Grace:        5 * time.Millisecond,
+		}
+	}
 
 	res := Result{Scenario: sc, Bound: -1}
 	var viol violations
@@ -231,20 +268,46 @@ func Run(sc Scenario) Result {
 	}
 
 	var wg sync.WaitGroup
+	var leaks atomic.Uint64
 	for w := 0; w < sc.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runWorker(m, sc, w, &viol)
+			runWorker(m, sc, w, &viol, &leaks)
 		}(w)
 	}
 	wg.Wait()
+	res.Leaked = leaks.Load()
+
+	// Convergence invariant: with the reaper on, every handle a SiteLeak
+	// killed must be reaped and its adopted garbage fully drained. Poll
+	// while the reaper is still running (it does the work); faults stay
+	// active — the reaper must converge under the same hostile schedule
+	// the workers died under.
+	if reaperOn && res.Leaked > 0 && viol.empty() {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			snap := m.Stats().Snapshot()
+			if snap.ReapedHandles >= int64(res.Leaked) && snap.Unreclaimed == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				viol.addf("reap convergence: leaked=%d but reaped=%d unreclaimed=%d after 10s",
+					res.Leaked, snap.ReapedHandles, snap.Unreclaimed)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
 
 	// Faults off before the drain: the drain must observe the repaired,
 	// fault-free behaviour (and a DrainSkip plan would defeat it). The
-	// trace collector stays active through the drain so the tail shows
-	// the final drain and reclaim events too.
+	// reaper stops before the gate closes — its drain path crosses
+	// injection sites, like the watchdog's. The trace collector stays
+	// active through the drain so the tail shows the final drain and
+	// reclaim events too.
 	hpbrcu.StopWatchdog(m)
+	hpbrcu.StopReaper(m)
 	fault.Deactivate()
 	res.Fired = inj.TotalFired()
 
@@ -255,7 +318,11 @@ func Run(sc Scenario) Result {
 		drain(m)
 		snap := m.Stats().Snapshot()
 		if sc.Scheme == hpbrcu.HPRCU || sc.Scheme == hpbrcu.HPBRCU {
-			if snap.Unreclaimed != 0 {
+			// Without a reaper, a leaked handle's deferred batch is
+			// stuck forever: the books cannot balance, by design — that
+			// asymmetry (leaks without reaper, convergence with) is what
+			// the leak-chaos tests assert.
+			if snap.Unreclaimed != 0 && !(res.Leaked > 0 && !reaperOn) {
 				viol.addf("books: unreclaimed=%d after drain (retired=%d reclaimed=%d)",
 					snap.Unreclaimed, snap.Retired, snap.Reclaimed)
 			}
@@ -291,7 +358,7 @@ func drain(m hpbrcu.Map) {
 // runWorker replays worker w's deterministic operation stream against the
 // map and its local reference model. Allocator poison panics (the paper's
 // use-after-free detector) are converted into violations.
-func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations) {
+func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations, leaks *atomic.Uint64) {
 	defer func() {
 		if r := recover(); r != nil {
 			viol.addf("worker %d poison hit: %v", w, r)
@@ -299,7 +366,12 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations) {
 	}()
 
 	h := m.Register()
-	defer h.Unregister()
+	leaked := false
+	defer func() {
+		if !leaked {
+			h.Unregister()
+		}
+	}()
 
 	// Keys owned by this worker: k ≡ w (mod Workers).
 	var own []int64
@@ -324,6 +396,14 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations) {
 	}
 
 	for i := 0; i < sc.Ops; i++ {
+		if fault.On && fault.Fire(fault.SiteLeak) {
+			// Goroutine death: abandon the registered handle mid-stream —
+			// no Unregister, no Barrier. The reaper (when on) must find
+			// and adopt it; without one this is a real leak.
+			leaked = true
+			leaks.Add(1)
+			return
+		}
 		r := next()
 		k := own[int(r>>32)%len(own)]
 		switch r % 100 {

@@ -26,6 +26,8 @@ import (
 	"github.com/smrgo/hpbrcu/internal/brcu"
 	"github.com/smrgo/hpbrcu/internal/ebr"
 	"github.com/smrgo/hpbrcu/internal/hp"
+	"github.com/smrgo/hpbrcu/internal/reap"
+	"github.com/smrgo/hpbrcu/internal/registry"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
@@ -68,6 +70,14 @@ type Domain struct {
 	HP   *hp.Domain
 	rcu  *ebr.Domain
 	brcu *brcu.Domain
+
+	// members tracks the composed handles (both halves), so the lease
+	// reaper can snapshot, quarantine and bulk-remove them as units.
+	members registry.Registry[Handle]
+
+	// bp is the tiered-backpressure evaluator; nil until
+	// EnableBackpressure (and always nil for RCU-backed domains).
+	bp *reap.Backpressure
 }
 
 // NewDomain creates a domain for the given backend. A zero Config selects
@@ -131,6 +141,21 @@ func (d *Domain) GarbageBoundObserved() int64 {
 	return d.brcu.GarbageBoundObserved() + d.HP.ShieldsPeak()
 }
 
+// EnableBackpressure installs the tiered-backpressure evaluator on a
+// BRCU-backed domain (nil for RCU: HP-RCU has no garbage bound to key the
+// tiers to). Call before any worker registers; the retire path reads the
+// pointer without synchronization.
+func (d *Domain) EnableBackpressure(cfg reap.BackpressureConfig) *reap.Backpressure {
+	if d.brcu == nil {
+		return nil
+	}
+	d.bp = reap.NewBackpressure(cfg, d.rec.Unreclaimed.Load, d.GarbageBoundObserved, d.rec)
+	return d.bp
+}
+
+// Backpressure returns the installed evaluator (nil when disabled).
+func (d *Domain) Backpressure() *reap.Backpressure { return d.bp }
+
 // Watchdog is a running self-healing monitor on a BRCU-backed domain; see
 // StartWatchdog.
 type Watchdog struct {
@@ -147,7 +172,7 @@ func (d *Domain) StartWatchdog(interval time.Duration, fraction float64) *Watchd
 	if d.brcu == nil {
 		return nil
 	}
-	h := d.Register()
+	h := d.register(true) // exempt: the watchdog's lease goes stale by design
 	w := d.brcu.StartWatchdog(brcu.WatchdogConfig{
 		Interval:  interval,
 		Fraction:  fraction,
@@ -172,13 +197,22 @@ type Handle struct {
 	HP   *hp.Handle
 	rcu  *ebr.Handle
 	brcu *brcu.Handle
+
+	// exempt marks service handles (watchdog, reaper) the lease reaper
+	// must never quarantine: they are long-lived and mostly idle, so
+	// their leases go stale by design.
+	exempt bool
 }
 
 // Register adds a thread to the domain and wires the two-step retirement
 // executor: when the (B)RCU grace period of a deferred node elapses, the
 // node moves to this thread's HP retired batch (Algorithm 4).
 func (d *Domain) Register() *Handle {
-	h := &Handle{d: d, HP: d.HP.Register()}
+	return d.register(false)
+}
+
+func (d *Domain) register(exempt bool) *Handle {
+	h := &Handle{d: d, HP: d.HP.Register(), exempt: exempt}
 	exec := func(r alloc.Retired) {
 		// Keep the whole record: the obs retire timestamp set at the
 		// outer Retire rides into the inner HP batch, so the
@@ -192,12 +226,21 @@ func (d *Domain) Register() *Handle {
 	case BackendBRCU:
 		h.brcu = d.brcu.Register()
 		h.brcu.SetExecutor(exec)
+		// If the reaper took this handle and the owner then turned out
+		// to be alive, the BRCU half resurrects inside Enter and calls
+		// back here to restore the composed state.
+		h.brcu.SetResurrect(func() {
+			h.HP.Readopt()
+			d.members.Add(h)
+		})
 	}
+	d.members.Add(h)
 	return h
 }
 
 // Unregister removes the thread from both domains.
 func (h *Handle) Unregister() {
+	h.d.members.Remove(h)
 	if h.rcu != nil {
 		h.rcu.Unregister()
 	}
@@ -219,9 +262,28 @@ func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 	h.d.rec.Unreclaimed.Add(1)
 	if h.brcu != nil {
 		h.brcu.DeferNoCount(slot, pool)
+		// First tier of the backpressure ladder: past the drain threshold
+		// the retiring thread drains its own garbage inline instead of
+		// waiting for the batch thresholds. ShouldDrain, not Level: the
+		// drain tier is an independent knob (DrainFraction > 1 disables
+		// inline drains without touching throttling or rejection).
+		if bp := h.d.bp; bp != nil && bp.ShouldDrain() {
+			h.emergencyDrain()
+		}
 	} else {
 		h.rcu.DeferNoCount(slot, pool)
 	}
+}
+
+// emergencyDrain pushes one forced round through both reclamation steps:
+// flush-and-advance on the BRCU (expiring what a grace period allows) and
+// an HP shield scan over the result.
+func (h *Handle) emergencyDrain() {
+	h.brcu.ForceFlush()
+	h.HP.Reclaim()
+	// The reclaim mutated this handle's retired list outside the defer
+	// path; re-stamp so the release edge covers it (see brcu.StampLease).
+	h.brcu.StampLease()
 }
 
 // Mask runs body as an abort-masked region (§4.2). Under HP-BRCU this is
@@ -245,6 +307,11 @@ func (h *Handle) Barrier() {
 		h.rcu.Barrier()
 	}
 	h.HP.Reclaim()
+	if h.brcu != nil {
+		// Publish the reclaim's retired-list mutations to the lease
+		// reaper (no-op while leases are off).
+		h.brcu.StampLease()
+	}
 }
 
 // Pin enters a bare critical section on the underlying (B)RCU — no

@@ -80,10 +80,20 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 		zeroC   C
 		zeroR   R
 		period  = h.d.backupPeriod
+		gen     = h.brcu.Gen()
 	)
 
 	for {
 		h.brcu.Enter()
+
+		if g := h.brcu.Gen(); g != gen {
+			// The lease reaper reaped this handle between attempts and
+			// Enter resurrected it: the shields backing both checkpoint
+			// buffers were cleared, so the checkpoints are no longer
+			// protected. Restart from scratch.
+			gen = g
+			haveCkp = false
+		}
 
 		fresh := false
 		if !haveCkp {

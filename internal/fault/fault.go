@@ -81,6 +81,12 @@ const (
 	// SiteFreeStall stalls in alloc.Pool.FreeSlot/FreeLocal after the slot
 	// is poisoned but before it reaches a freelist.
 	SiteFreeStall
+	// SiteLeak kills a chaos worker mid-operation: the worker returns
+	// without Unregister or Barrier, abandoning its registered handle,
+	// shields, deferred batch and retired list — the goroutine-death case
+	// the lease reaper (internal/reap) exists to recover. Fired by the
+	// chaos harness between operations, not from library hot paths.
+	SiteLeak
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -89,7 +95,7 @@ const (
 var siteNames = [NumSites]string{
 	"poll", "shield", "mask-enter", "mask-exit", "mask-abort",
 	"step-rollback", "advance-storm", "drain-skip",
-	"alloc-stall", "alloc-exhaust", "free-stall",
+	"alloc-stall", "alloc-exhaust", "free-stall", "leak",
 }
 
 // String returns the site's name.

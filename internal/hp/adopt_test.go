@@ -1,0 +1,92 @@
+package hp
+
+import (
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/alloc"
+)
+
+// TestAdoptReleasesShieldsAndOrphansRetired exercises the reaper-side
+// Unregister: shield protections drop, the retired list becomes domain
+// orphans, and a survivor's Reclaim frees the abandoned nodes.
+func TestAdoptReleasesShieldsAndOrphansRetired(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithScanThreshold(1024))
+	dead := d.Register()
+	live := d.Register()
+	defer live.Unregister()
+
+	slot, _ := pool.Alloc(cache)
+	s := dead.NewShield()
+	s.ProtectSlot(slot)
+	pool.Hdr(slot).Retire()
+	dead.Retire(slot, pool)
+
+	if n := d.Adopt(dead); n != 1 {
+		t.Fatalf("Adopt orphaned %d nodes, want 1", n)
+	}
+	if s.Get() != 0 {
+		t.Fatal("Adopt must clear the dead handle's shield values")
+	}
+	if got := len(*dead.shields.Load()); got != 1 {
+		t.Fatalf("Adopt dropped the shield slice (len %d); resurrecting owners reuse it", got)
+	}
+	if d.Shields() != 0 {
+		t.Fatalf("shield gauge = %d after Adopt, want 0", d.Shields())
+	}
+
+	live.Reclaim()
+	if pool.Hdr(slot).State() != alloc.StateFree {
+		t.Fatal("survivor's Reclaim did not free the adopted orphan")
+	}
+	if got := d.Stats().Unreclaimed.Load(); got != 0 {
+		t.Fatalf("unreclaimed = %d, want 0", got)
+	}
+}
+
+func TestUnregisterAfterAdoptIsNoop(t *testing.T) {
+	d := NewDomain(nil)
+	h := d.Register()
+	h.NewShield()
+	d.Adopt(h)
+	d.RemoveAll([]*Handle{h})
+
+	// A late deferred Unregister by a slow-but-alive owner: the shields were
+	// already deducted once; a second deduction would corrupt the H gauge.
+	h.Unregister()
+	if got := d.Shields(); got != 0 {
+		t.Fatalf("shield gauge = %d after late Unregister, want 0", got)
+	}
+	if got := d.ShieldsPeak(); got != 1 {
+		t.Fatalf("shield peak = %d, want 1", got)
+	}
+}
+
+func TestReadoptRestoresShieldAccounting(t *testing.T) {
+	d := NewDomain(nil)
+	h := d.Register()
+	s := h.NewShield()
+	d.Adopt(h)
+	d.RemoveAll([]*Handle{h})
+
+	h.Readopt()
+	if got := d.Shields(); got != 1 {
+		t.Fatalf("shield gauge = %d after Readopt, want 1", got)
+	}
+	// The owner keeps using the same *Shield it got at registration.
+	s.ProtectSlot(7)
+	if s.Get() != 7 {
+		t.Fatal("readopted shield does not protect")
+	}
+	// Readopt is idempotent: a second call must not double-account.
+	h.Readopt()
+	if got := d.Shields(); got != 1 {
+		t.Fatalf("shield gauge = %d after double Readopt, want 1", got)
+	}
+	// Now that the handle is live again, Unregister releases normally.
+	h.Unregister()
+	if got := d.Shields(); got != 0 {
+		t.Fatalf("shield gauge = %d after Unregister, want 0", got)
+	}
+}

@@ -90,6 +90,12 @@ type Handle struct {
 	retired []alloc.Retired
 	scratch map[uint64]int // reused protected-slot multiset keyed by slot
 	trace   *obs.Trace     // reclaim events; nil with observability off
+
+	// reaped is set by Domain.Adopt when the lease reaper takes over this
+	// handle's state, and cleared by Readopt if the owner resurrects. It
+	// makes a late Unregister by a slow-but-alive owner a no-op instead of
+	// a double release of shields already deducted from the gauge.
+	reaped atomic.Bool
 }
 
 // Register adds a thread to the domain.
@@ -106,12 +112,22 @@ func (d *Domain) Register() *Handle {
 
 // Unregister removes the thread. Its shields are cleared and any still
 // pending retired nodes are handed to the domain for later reclamation.
+// Unregistering a handle the reaper already adopted is a no-op.
 func (h *Handle) Unregister() {
-	for _, s := range *h.shields.Load() {
+	if h.reaped.Load() {
+		return
+	}
+	// One snapshot for both the clear loop and the gauge: the two loads
+	// could otherwise disagree if this handle's owner leaked mid-NewShield
+	// and the slice grew between them.
+	shields := *h.shields.Load()
+	for _, s := range shields {
 		s.Clear()
 	}
 	d := h.d
-	d.shields.Add(-int64(len(*h.shields.Load())))
+	d.shields.Add(-int64(len(shields)))
+	empty := []*Shield{}
+	h.shields.Store(&empty) // an unregistered handle must not keep live shields
 	if len(h.retired) > 0 {
 		d.orphanMu.Lock()
 		d.orphans = append(d.orphans, h.retired...)
@@ -119,6 +135,54 @@ func (h *Handle) Unregister() {
 		h.retired = nil
 	}
 	d.handles.Remove(h)
+}
+
+// Adopt is the reaper-side Unregister for a handle whose owner died: the
+// shield values are cleared (releasing their protections) but the slice is
+// kept — data-structure handles hold *Shield pointers created at Register,
+// and a resurrecting owner reuses them — and the retired list moves to the
+// domain's orphans, to be freed by the next Reclaim pass of any survivor.
+// Returns the number of orphaned nodes. The caller (internal/core) holds
+// the brcu reap protocol in phaseReaping, which excludes the owner.
+func (d *Domain) Adopt(h *Handle) int {
+	shields := *h.shields.Load()
+	for _, s := range shields {
+		s.Clear()
+	}
+	d.shields.Add(-int64(len(shields)))
+	n := len(h.retired)
+	if n > 0 {
+		d.orphanMu.Lock()
+		d.orphans = append(d.orphans, h.retired...)
+		d.orphanMu.Unlock()
+		h.retired = nil
+	}
+	h.reaped.Store(true)
+	return n
+}
+
+// Readopt resurrects a reaped handle whose owner turned out to be alive:
+// re-register and re-account the (cleared but still referenced) shields.
+// No-op unless the handle was actually reaped.
+func (h *Handle) Readopt() {
+	if !h.reaped.CompareAndSwap(true, false) {
+		return
+	}
+	h.d.shields.Add(int64(len(*h.shields.Load())))
+	h.d.handles.Add(h)
+}
+
+// RemoveAll bulk-removes reaped handles from the registry with a single
+// copy-on-write publication.
+func (d *Domain) RemoveAll(hs []*Handle) {
+	if len(hs) == 0 {
+		return
+	}
+	set := make(map[*Handle]bool, len(hs))
+	for _, h := range hs {
+		set[h] = true
+	}
+	d.handles.RemoveWhere(func(h *Handle) bool { return set[h] })
 }
 
 // Shield is a single protection slot for a node (Algorithm 1). The zero

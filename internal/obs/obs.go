@@ -79,6 +79,24 @@ const (
 	// EvSlabGrow: the allocator materialized or carved fresh slots
 	// instead of reusing freed ones; Arg is the number of slots carved.
 	EvSlabGrow
+	// EvLeaseExpire: the reaper observed a handle whose activity lease
+	// went stale; Arg is the lease age in nanoseconds.
+	EvLeaseExpire
+	// EvQuarantine: the reaper quarantined a lease-expired handle (phase
+	// one of the two-phase reap); Arg is 0.
+	EvQuarantine
+	// EvAdopt: the reaper adopted a dead handle's deferred batch and
+	// retired list into the domain-global paths; Arg is the node count.
+	EvAdopt
+	// EvReap: the reaper confirmed a quarantined handle dead and removed
+	// it; Arg is the number of handles reaped this pass.
+	EvReap
+	// EvThrottle: allocations were delayed by the backpressure throttle;
+	// Arg is the number of throttled admissions since the last tick.
+	EvThrottle
+	// EvReject: allocations were refused with ErrMemoryPressure; Arg is
+	// the number of rejections since the last tick.
+	EvReject
 
 	numEventKinds
 )
@@ -86,6 +104,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"epoch-advance", "forced-advance", "signal", "rollback", "mask-defer",
 	"watchdog-escalate", "broadcast", "drain", "reclaim", "slab-grow",
+	"lease-expire", "quarantine", "adopt", "reap", "throttle", "reject",
 }
 
 // String returns the event kind's name.

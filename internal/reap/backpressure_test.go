@@ -1,0 +1,155 @@
+package reap
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+func TestBackpressureLevels(t *testing.T) {
+	var u atomic.Int64
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 1000}, u.Load, nil, nil)
+
+	for _, tc := range []struct {
+		unreclaimed int64
+		want        Level
+	}{
+		{0, LevelOK},
+		{499, LevelOK},
+		{500, LevelDrain},
+		{749, LevelDrain},
+		{750, LevelThrottle},
+		{899, LevelThrottle},
+		{900, LevelReject},
+		{5000, LevelReject},
+	} {
+		u.Store(tc.unreclaimed)
+		if got := bp.Level(); got != tc.want {
+			t.Errorf("Level at %d = %v, want %v", tc.unreclaimed, got, tc.want)
+		}
+	}
+}
+
+func TestBackpressureBoundFallback(t *testing.T) {
+	var u, bound atomic.Int64
+	bp := NewBackpressure(BackpressureConfig{}, u.Load, bound.Load, nil)
+
+	// No ceiling and a zero bound (no thread registered yet): unlimited.
+	u.Store(1 << 40)
+	if got := bp.Level(); got != LevelOK {
+		t.Fatalf("Level with no base = %v, want ok (unlimited)", got)
+	}
+
+	// Threads register, the §5 bound materializes; Refresh (the reaper's
+	// tick) picks it up.
+	bound.Store(100)
+	bp.Refresh()
+	u.Store(95)
+	if got := bp.Level(); got != LevelReject {
+		t.Fatalf("Level at 95/100 = %v, want reject", got)
+	}
+	u.Store(10)
+	if got := bp.Level(); got != LevelOK {
+		t.Fatalf("Level at 10/100 = %v, want ok", got)
+	}
+}
+
+func TestAdmitBelowThrottleIsFree(t *testing.T) {
+	var u atomic.Int64
+	rec := &stats.Reclamation{}
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 100}, u.Load, nil, rec)
+
+	u.Store(60) // drain tier: admissions still free
+	if err := bp.Admit(); err != nil {
+		t.Fatalf("Admit at drain tier = %v, want nil", err)
+	}
+	if rec.BackpressureThrottles.Load() != 0 {
+		t.Fatal("free admission counted as a throttle")
+	}
+}
+
+func TestAdmitRejectsAtCeiling(t *testing.T) {
+	var u atomic.Int64
+	rec := &stats.Reclamation{}
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 100}, u.Load, nil, rec)
+
+	u.Store(95)
+	err := bp.Admit()
+	if !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("Admit at reject tier = %v, want ErrMemoryPressure", err)
+	}
+	if rec.BackpressureRejects.Load() != 1 {
+		t.Fatalf("rejects = %d, want 1", rec.BackpressureRejects.Load())
+	}
+	if rec.BackpressureThrottles.Load() != 1 {
+		t.Fatalf("throttles = %d, want 1 (the backoff ran first)", rec.BackpressureThrottles.Load())
+	}
+}
+
+func TestAdmitRecoversWhenPressureClears(t *testing.T) {
+	var u atomic.Int64
+	rec := &stats.Reclamation{}
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 100}, u.Load, nil, rec)
+
+	// Reclamation races the backoff: the gauge reads throttle-tier once,
+	// then drops. The second Level check must see the pressure gone and
+	// admit without an error.
+	cleared := false
+	bp2 := NewBackpressure(BackpressureConfig{Ceiling: 100}, func() int64 {
+		if cleared {
+			return 10
+		}
+		cleared = true
+		return 80
+	}, nil, rec)
+	if err := bp2.Admit(); err != nil {
+		t.Fatalf("Admit after pressure cleared = %v, want nil", err)
+	}
+	// Steady throttle tier (80 < reject 90): backed off but admitted.
+	u.Store(80)
+	if err := bp.Admit(); err != nil {
+		t.Fatalf("Admit at throttle tier = %v, want nil", err)
+	}
+	if rec.BackpressureRejects.Load() != 0 {
+		t.Fatal("throttle-tier admission was rejected")
+	}
+	if rec.BackpressureThrottles.Load() == 0 {
+		t.Fatal("throttle-tier admission not counted")
+	}
+}
+
+func TestShouldDrainIsIndependent(t *testing.T) {
+	var u atomic.Int64
+	// DrainFraction above 1 disables inline drains entirely while the
+	// throttle/reject tiers still fire — the knob the reject tests (and
+	// reaper-drained deployments) rely on.
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 100, DrainFraction: 2.0}, u.Load, nil, nil)
+	u.Store(95)
+	if bp.ShouldDrain() {
+		t.Fatal("ShouldDrain fired below the (raised) drain threshold")
+	}
+	if got := bp.Level(); got != LevelReject {
+		t.Fatalf("Level = %v, want reject despite the raised drain threshold", got)
+	}
+	u.Store(200)
+	if !bp.ShouldDrain() {
+		t.Fatal("ShouldDrain must fire past the drain threshold")
+	}
+}
+
+func TestThresholdFloor(t *testing.T) {
+	var u atomic.Int64
+	bp := NewBackpressure(BackpressureConfig{Ceiling: 1}, u.Load, nil, nil)
+	// A tiny ceiling still yields sane (≥1) thresholds rather than 0,
+	// which would reject even an empty domain.
+	u.Store(0)
+	if got := bp.Level(); got != LevelOK {
+		t.Fatalf("Level with empty domain = %v, want ok", got)
+	}
+	u.Store(1)
+	if got := bp.Level(); got != LevelReject {
+		t.Fatalf("Level at the 1-node ceiling = %v, want reject", got)
+	}
+}

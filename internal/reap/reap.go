@@ -1,0 +1,297 @@
+// Package reap implements the lease-based orphan reaper and the tiered
+// memory-backpressure ladder (DESIGN.md §9).
+//
+// The reclamation schemes in this repository are robust against *stalled*
+// threads — a preempted reader cannot block reclamation — but a thread
+// that dies (its goroutine leaks or panics past its defers) abandons a
+// registered handle: its deferred batch never flushes, its shields never
+// clear, and the garbage they pin accumulates forever. The reaper closes
+// that hole with a lease protocol:
+//
+//   - the reaper publishes a coarse activity clock into the domain once
+//     per tick (Target.PublishClock); handle owners copy it into their
+//     lease word with one relaxed store at every activity point;
+//   - a handle whose lease has not moved for LeaseTimeout while it holds
+//     no live critical section is *quarantined* (phase one: a CAS on the
+//     handle's status word that a live owner detects and cancels at its
+//     next entry point);
+//   - a quarantine that survives the Grace period is *confirmed* (phase
+//     two: CAS Quarantined→Reaping), the handle's deferred batch and
+//     retired list are adopted into the domain-global reclamation paths,
+//     its shields are cleared, and it is removed from the registry.
+//
+// Memory ordering: the owner stamps its lease *after* mutating its batch
+// (a release edge), and the reaper re-reads the lease immediately before
+// confirming (the acquire edge) — a reap proceeds only if the lease still
+// holds the exact value observed at quarantine time, so every owner
+// mutation the reaper could adopt happens-before the adoption.
+//
+// A slow-but-alive owner that wakes after the full reap finds its handle
+// in the Reaped phase and resurrects: it re-registers and continues, its
+// old garbage already safely adopted. The race between resurrection and
+// adoption is closed by the Reaping phase, which the owner spins on.
+package reap
+
+import (
+	"sync"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/obs"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Defaults. The lease timeout is deliberately long relative to the tick:
+// a lease is considered stale only after many missed publications, so a
+// briefly descheduled owner is never quarantined in the first place.
+const (
+	DefaultLeaseTimeout = 250 * time.Millisecond
+	DefaultInterval     = 5 * time.Millisecond
+)
+
+// Victim is one reapable handle, as seen by the reaper. internal/core's
+// composed Handle implements it; the indirection keeps this package free
+// of scheme imports (and mockable in tests).
+type Victim interface {
+	// Lease returns the victim's last activity stamp (UnixNano). This
+	// load is the acquire edge of the adoption protocol.
+	Lease() int64
+	// Exempt reports whether the handle must never be reaped (service
+	// handles owned by the watchdog and the reaper itself).
+	Exempt() bool
+	// TryQuarantine begins phase one; false means the victim is inside a
+	// live critical section or already mid-reap.
+	TryQuarantine() bool
+	// TryBeginReap confirms phase two; false means the owner woke up and
+	// cancelled the quarantine.
+	TryBeginReap() bool
+	// Adopt moves the victim's deferred batch and retired list into the
+	// domain-global paths and clears its protections, returning the
+	// number of adopted nodes. Called only between TryBeginReap and
+	// FinishReap.
+	Adopt() int
+	// FinishReap publishes the end of adoption.
+	FinishReap()
+}
+
+// Target is the domain the reaper serves.
+type Target interface {
+	// PublishClock publishes now (UnixNano) as the domain activity clock.
+	PublishClock(now int64)
+	// Victims snapshots the current membership.
+	Victims() []Victim
+	// Remove bulk-removes reaped victims from the domain registries.
+	Remove(vs []Victim)
+	// PostReap runs after a pass that reaped at least one victim — the
+	// hook where internal/core forces a flush-and-reclaim round so the
+	// adopted garbage actually drains.
+	PostReap()
+}
+
+// Config configures Start.
+type Config struct {
+	// LeaseTimeout is how stale a lease must be before quarantine
+	// (default DefaultLeaseTimeout).
+	LeaseTimeout time.Duration
+	// Interval between reaper ticks (default DefaultInterval).
+	Interval time.Duration
+	// Grace is the quarantine confirmation delay (default 4×Interval).
+	Grace time.Duration
+	// Rec receives ReapedHandles/AdoptedNodes counts (nil allocates a
+	// private one).
+	Rec *stats.Reclamation
+	// BP, when non-nil, is refreshed once per tick so its cached
+	// thresholds track the observed thread count, and its throttle and
+	// reject counters are mirrored into the event trace.
+	BP *Backpressure
+}
+
+// quarantine is one pending phase-one entry: when it started and the
+// exact lease value observed, so a reap aborts if the lease moved.
+type quarantine struct {
+	at    int64
+	lease int64
+}
+
+// Reaper is a running per-domain reaper goroutine; see Start.
+type Reaper struct {
+	tgt Target
+	cfg Config
+
+	quarantined map[Victim]quarantine
+	// cleanup is set after any adoption and holds until the books balance
+	// once: adopted garbage can land in places no worker will ever drain
+	// again (the global task set, HP orphans, the drain handle's own
+	// retired batch — e.g. nodes a still-live shield protected at adoption
+	// time), so the reaper keeps running PostReap until Unreclaimed hits
+	// zero, then goes quiet again.
+	cleanup bool
+	trace   *obs.Trace
+	// last* remember the counter levels already mirrored into the trace.
+	lastThrottles int64
+	lastRejects   int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start launches the reaper goroutine. Stop it with Stop before tearing
+// the domain down. The caller must have enabled lease stamping on the
+// domain before any worker goroutine registers (internal/core does both
+// in StartReaper).
+func Start(tgt Target, cfg Config) *Reaper {
+	r := newReaper(tgt, cfg)
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// newReaper applies defaults without launching the goroutine; tick-driven
+// tests use it directly.
+func newReaper(tgt Target, cfg Config) *Reaper {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 4 * cfg.Interval
+	}
+	if cfg.Rec == nil {
+		cfg.Rec = &stats.Reclamation{}
+	}
+	r := &Reaper{
+		tgt:         tgt,
+		cfg:         cfg,
+		quarantined: make(map[Victim]quarantine),
+		stop:        make(chan struct{}),
+	}
+	if obs.On {
+		r.trace = obs.NewTrace("reap")
+	}
+	return r
+}
+
+// Stop terminates the reaper and waits for it to exit. Call exactly once.
+func (r *Reaper) Stop() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+func (r *Reaper) run() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		r.tick(time.Now().UnixNano())
+	}
+}
+
+// tick is one reaper pass; factored out of run with an explicit clock so
+// tests can drive the protocol deterministically.
+func (r *Reaper) tick(now int64) {
+	r.tgt.PublishClock(now)
+	vs := r.tgt.Victims()
+
+	live := make(map[Victim]bool, len(vs))
+	var reaped []Victim
+	adopted := 0
+	for _, v := range vs {
+		live[v] = true
+		if v.Exempt() {
+			continue
+		}
+		if q, ok := r.quarantined[v]; ok {
+			// Acquire edge: everything the owner mutated before its
+			// last lease stamp is visible after this load.
+			lease := v.Lease()
+			if lease != q.lease {
+				// The owner moved: alive after all (its next entry
+				// point cancels the quarantine CAS itself).
+				delete(r.quarantined, v)
+				continue
+			}
+			if now-q.at < int64(r.cfg.Grace) {
+				continue
+			}
+			delete(r.quarantined, v)
+			if !v.TryBeginReap() {
+				continue // owner won the quarantine CAS
+			}
+			n := v.Adopt()
+			v.FinishReap()
+			reaped = append(reaped, v)
+			adopted += n
+			r.cfg.Rec.ReapedHandles.Inc()
+			r.cfg.Rec.AdoptedNodes.Add(int64(n))
+			if obs.On {
+				r.trace.Rec(obs.EvAdopt, int64(n))
+			}
+			continue
+		}
+		lease := v.Lease()
+		if age := now - lease; age > int64(r.cfg.LeaseTimeout) {
+			if obs.On {
+				r.trace.Rec(obs.EvLeaseExpire, age)
+			}
+			if v.TryQuarantine() {
+				r.quarantined[v] = quarantine{at: now, lease: lease}
+				if obs.On {
+					r.trace.Rec(obs.EvQuarantine, 0)
+				}
+			}
+		}
+	}
+	// Drop quarantine entries for victims that left the registry (e.g.
+	// unregistered between ticks); their status word is owner business.
+	for v := range r.quarantined {
+		if !live[v] {
+			delete(r.quarantined, v)
+		}
+	}
+
+	if len(reaped) > 0 {
+		r.tgt.Remove(reaped)
+		r.tgt.PostReap()
+		r.cleanup = true
+		if obs.On {
+			r.trace.Rec(obs.EvReap, int64(len(reaped)))
+		}
+	} else if r.cleanup {
+		// Finish what the reap started: keep forcing drain rounds until
+		// the unreclaimed gauge touches zero once. With every worker dead
+		// there is nobody else left to advance the epoch or reclaim what
+		// the adoption parked in the global paths.
+		if r.cfg.Rec.Unreclaimed.Load() > 0 {
+			r.tgt.PostReap()
+		} else {
+			r.cleanup = false
+		}
+	}
+
+	if bp := r.cfg.BP; bp != nil {
+		bp.Refresh()
+		if obs.On {
+			// Workers cannot write shared traces (single-writer rings),
+			// so the reaper mirrors the counter deltas into its own.
+			if t := r.cfg.Rec.BackpressureThrottles.Load(); t > r.lastThrottles {
+				r.trace.Rec(obs.EvThrottle, t-r.lastThrottles)
+				r.lastThrottles = t
+			}
+			if j := r.cfg.Rec.BackpressureRejects.Load(); j > r.lastRejects {
+				r.trace.Rec(obs.EvReject, j-r.lastRejects)
+				r.lastRejects = j
+			}
+		}
+	}
+}
+
+// Quarantined reports how many victims are currently in phase one. Only
+// for tick-driven tests: once the reaper goroutine runs, the map belongs
+// to it alone.
+func (r *Reaper) Quarantined() int { return len(r.quarantined) }

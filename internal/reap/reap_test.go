@@ -1,0 +1,204 @@
+package reap
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// mockVictim scripts one handle through the reap protocol.
+type mockVictim struct {
+	lease    atomic.Int64
+	exempt   bool
+	inCS     bool // TryQuarantine fails, like a live critical section
+	cancel   bool // owner wins the quarantine CAS: TryBeginReap fails
+	adoptN   int
+	adopted  int
+	finished int
+}
+
+func (v *mockVictim) Lease() int64        { return v.lease.Load() }
+func (v *mockVictim) Exempt() bool        { return v.exempt }
+func (v *mockVictim) TryQuarantine() bool { return !v.inCS }
+func (v *mockVictim) TryBeginReap() bool  { return !v.cancel }
+func (v *mockVictim) Adopt() int          { v.adopted++; return v.adoptN }
+func (v *mockVictim) FinishReap()         { v.finished++ }
+
+// mockTarget is a scripted domain.
+type mockTarget struct {
+	clock    int64
+	victims  []Victim
+	removed  []Victim
+	postReap int
+}
+
+func (t *mockTarget) PublishClock(now int64) { t.clock = now }
+func (t *mockTarget) Victims() []Victim      { return t.victims }
+func (t *mockTarget) Remove(vs []Victim)     { t.removed = append(t.removed, vs...) }
+func (t *mockTarget) PostReap()              { t.postReap++ }
+
+// testReaper builds a tick-driven reaper: lease timeout 100, grace 50 (in
+// the test's abstract nanosecond clock).
+func testReaper(tgt Target, rec *stats.Reclamation) *Reaper {
+	return newReaper(tgt, Config{
+		LeaseTimeout: 100, Interval: time.Millisecond, Grace: 50, Rec: rec,
+	})
+}
+
+func TestReapLifecycle(t *testing.T) {
+	v := &mockVictim{adoptN: 7}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	rec := &stats.Reclamation{}
+	r := testReaper(tgt, rec)
+
+	r.tick(50) // lease age 40 < 100: healthy
+	if r.Quarantined() != 0 {
+		t.Fatal("healthy victim quarantined")
+	}
+	r.tick(200) // age 190 > 100: quarantine
+	if r.Quarantined() != 1 {
+		t.Fatal("stale victim not quarantined")
+	}
+	if tgt.clock != 200 {
+		t.Fatalf("clock = %d, want published 200", tgt.clock)
+	}
+	r.tick(220) // grace 20 < 50: still pending
+	if v.adopted != 0 || r.Quarantined() != 1 {
+		t.Fatal("reaped before the grace period elapsed")
+	}
+	r.tick(300) // grace 100 > 50: reap
+	if v.adopted != 1 || v.finished != 1 {
+		t.Fatalf("adopted=%d finished=%d, want 1/1", v.adopted, v.finished)
+	}
+	if len(tgt.removed) != 1 || tgt.removed[0] != Victim(v) {
+		t.Fatalf("removed = %v, want the victim", tgt.removed)
+	}
+	if tgt.postReap != 1 {
+		t.Fatalf("postReap = %d, want 1", tgt.postReap)
+	}
+	if got := rec.ReapedHandles.Load(); got != 1 {
+		t.Fatalf("ReapedHandles = %d, want 1", got)
+	}
+	if got := rec.AdoptedNodes.Load(); got != 7 {
+		t.Fatalf("AdoptedNodes = %d, want 7", got)
+	}
+}
+
+func TestLeaseMovementAbortsReap(t *testing.T) {
+	v := &mockVictim{}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	r := testReaper(tgt, nil)
+
+	r.tick(200)
+	if r.Quarantined() != 1 {
+		t.Fatal("stale victim not quarantined")
+	}
+	// The owner stamps its lease (it was alive all along). The reaper must
+	// drop the quarantine entry instead of confirming with stale state.
+	v.lease.Store(201)
+	r.tick(300)
+	if v.adopted != 0 {
+		t.Fatal("reaped a victim whose lease moved")
+	}
+	if r.Quarantined() != 0 {
+		t.Fatal("stale quarantine entry not dropped")
+	}
+}
+
+func TestOwnerWinsQuarantineCAS(t *testing.T) {
+	v := &mockVictim{cancel: true}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	rec := &stats.Reclamation{}
+	r := testReaper(tgt, rec)
+
+	r.tick(200)
+	r.tick(300)
+	if v.adopted != 0 || v.finished != 0 {
+		t.Fatal("adoption ran although the owner won the quarantine CAS")
+	}
+	if len(tgt.removed) != 0 || rec.ReapedHandles.Load() != 0 {
+		t.Fatal("cancelled reap was still recorded")
+	}
+}
+
+func TestExemptAndLiveVictimsSkipped(t *testing.T) {
+	exempt := &mockVictim{exempt: true}
+	inCS := &mockVictim{inCS: true}
+	tgt := &mockTarget{victims: []Victim{exempt, inCS}}
+	r := testReaper(tgt, nil)
+
+	r.tick(1 << 30) // both leases ancient
+	if r.Quarantined() != 0 {
+		t.Fatal("exempt or in-CS victim quarantined")
+	}
+}
+
+func TestDepartedVictimPurged(t *testing.T) {
+	v := &mockVictim{}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	r := testReaper(tgt, nil)
+
+	r.tick(200)
+	if r.Quarantined() != 1 {
+		t.Fatal("stale victim not quarantined")
+	}
+	// The victim unregisters between ticks: its entry must not linger.
+	tgt.victims = nil
+	r.tick(300)
+	if r.Quarantined() != 0 {
+		t.Fatal("departed victim's quarantine entry not purged")
+	}
+	if v.adopted != 0 {
+		t.Fatal("departed victim was reaped")
+	}
+}
+
+func TestCleanupDrainsUntilBooksBalance(t *testing.T) {
+	v := &mockVictim{adoptN: 3}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	rec := &stats.Reclamation{}
+	r := testReaper(tgt, rec)
+
+	// Simulate garbage the adoption parks in the global paths: the gauge
+	// stays nonzero after the reap's own PostReap.
+	rec.Unreclaimed.Add(3)
+	r.tick(200)
+	r.tick(300) // reap: PostReap #1, cleanup mode armed
+	tgt.victims = nil
+	if tgt.postReap != 1 {
+		t.Fatalf("postReap = %d, want 1 after the reap", tgt.postReap)
+	}
+	r.tick(400) // still dirty: PostReap #2
+	r.tick(500) // still dirty: PostReap #3
+	if tgt.postReap != 3 {
+		t.Fatalf("postReap = %d, want 3 while the books are dirty", tgt.postReap)
+	}
+	rec.Unreclaimed.Add(-3) // drain succeeded
+	r.tick(600)             // books balanced: cleanup mode off, no PostReap
+	r.tick(700)
+	if tgt.postReap != 3 {
+		t.Fatalf("postReap = %d, want 3 after the books balanced", tgt.postReap)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	v := &mockVictim{}
+	v.lease.Store(time.Now().UnixNano())
+	tgt := &mockTarget{victims: []Victim{v}}
+	r := Start(tgt, Config{LeaseTimeout: time.Hour, Interval: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	r.Stop()
+	if tgt.clock == 0 {
+		t.Fatal("running reaper never published the clock")
+	}
+	if v.adopted != 0 {
+		t.Fatal("reaper reaped a fresh-leased victim")
+	}
+}

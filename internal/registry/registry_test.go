@@ -43,6 +43,38 @@ func TestSnapshotImmutableUnderMutation(t *testing.T) {
 	}
 }
 
+func TestRemoveWhere(t *testing.T) {
+	var r Registry[member]
+	var keep []*member
+	for i := 0; i < 10; i++ {
+		m := &member{i}
+		r.Add(m)
+		if i%2 == 0 {
+			keep = append(keep, m)
+		}
+	}
+	n := r.RemoveWhere(func(m *member) bool { return m.id%2 == 1 })
+	if n != 5 {
+		t.Fatalf("RemoveWhere removed %d, want 5", n)
+	}
+	snap := r.Snapshot()
+	if len(snap) != len(keep) {
+		t.Fatalf("len = %d after RemoveWhere, want %d", len(snap), len(keep))
+	}
+	for i, m := range keep {
+		if snap[i] != m {
+			t.Fatalf("snapshot[%d] = %v, want id %d (order must be preserved)", i, snap[i], m.id)
+		}
+	}
+	// No matches: membership unchanged, zero reported.
+	if n := r.RemoveWhere(func(*member) bool { return false }); n != 0 {
+		t.Fatalf("no-match RemoveWhere removed %d", n)
+	}
+	if r.Len() != len(keep) {
+		t.Fatal("no-match RemoveWhere changed membership")
+	}
+}
+
 func TestConcurrentChurn(t *testing.T) {
 	var r Registry[member]
 	var wg sync.WaitGroup
@@ -68,5 +100,70 @@ func TestConcurrentChurn(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 0 {
 		t.Fatalf("len = %d after balanced add/remove", r.Len())
+	}
+}
+
+// TestConcurrentAddRemoveWhereSnapshot interleaves every mutation kind with
+// snapshot readers — the access pattern of a reaper bulk-removing dead
+// handles while reclaimers scan and workers register. Run under -race this
+// is the satellite stress test for the registry's copy-on-write contract.
+func TestConcurrentAddRemoveWhereSnapshot(t *testing.T) {
+	var r Registry[member]
+	var wg sync.WaitGroup
+	const (
+		adders  = 4
+		reapers = 2
+		readers = 2
+		rounds  = 300
+	)
+	for w := 0; w < adders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := &member{id: w*rounds + i}
+				r.Add(m)
+				if i%3 == 0 {
+					r.Remove(m) // targeted remove racing the bulk sweeps
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < reapers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				r.RemoveWhere(func(m *member) bool { return m.id%reapers == w })
+			}
+		}(w)
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				prev := -1
+				for _, e := range r.Snapshot() {
+					if e == nil {
+						t.Error("nil member in snapshot")
+						return
+					}
+					_ = prev
+					prev = e.id
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain the survivors; the registry must end empty and stay usable.
+	r.RemoveWhere(func(*member) bool { return true })
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after full RemoveWhere", r.Len())
+	}
+	m := &member{99}
+	r.Add(m)
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0] != m {
+		t.Fatal("registry unusable after concurrent churn")
 	}
 }

@@ -107,6 +107,18 @@ type Reclamation struct {
 	// Broadcasts counts neutralizations delivered by watchdog broadcasts,
 	// as opposed to the targeted Signals of ordinary epoch advance.
 	Broadcasts Counter
+	// ReapedHandles counts handles the lease reaper confirmed dead and
+	// removed (leaked goroutines; see internal/reap).
+	ReapedHandles Counter
+	// AdoptedNodes counts retired/deferred nodes the reaper adopted from
+	// reaped handles into the domain-global reclamation paths.
+	AdoptedNodes Counter
+	// BackpressureThrottles counts allocations that were delayed by the
+	// tiered-backpressure throttle before being admitted.
+	BackpressureThrottles Counter
+	// BackpressureRejects counts allocations refused with
+	// ErrMemoryPressure because unreclaimed garbage reached the ceiling.
+	BackpressureRejects Counter
 
 	// The histograms below record only while the observability layer
 	// (internal/obs) is enabled; see the Histogram doc comment.
@@ -141,6 +153,11 @@ type Snapshot struct {
 	WatchdogEscalations int64
 	Broadcasts          int64
 
+	ReapedHandles         int64
+	AdoptedNodes          int64
+	BackpressureThrottles int64
+	BackpressureRejects   int64
+
 	// Histogram digests; all-zero unless the observability layer was
 	// enabled during the run. Summaries are scalar-only, so Snapshot
 	// remains comparable.
@@ -163,7 +180,13 @@ func (r *Reclamation) Snapshot() Snapshot {
 		ForcedAdvances:      r.ForcedAdvances.Load(),
 		WatchdogEscalations: r.WatchdogEscalations.Load(),
 		Broadcasts:          r.Broadcasts.Load(),
-		PollLag:             r.PollLag.Summary(),
+
+		ReapedHandles:         r.ReapedHandles.Load(),
+		AdoptedNodes:          r.AdoptedNodes.Load(),
+		BackpressureThrottles: r.BackpressureThrottles.Load(),
+		BackpressureRejects:   r.BackpressureRejects.Load(),
+
+		PollLag: r.PollLag.Summary(),
 		CSNanos:             r.CSNanos.Summary(),
 		GraceNanos:          r.GraceNanos.Summary(),
 		ReclaimAgeNanos:     r.ReclaimAgeNanos.Summary(),
@@ -181,6 +204,10 @@ func (r *Reclamation) Reset() {
 	r.ForcedAdvances.Reset()
 	r.WatchdogEscalations.Reset()
 	r.Broadcasts.Reset()
+	r.ReapedHandles.Reset()
+	r.AdoptedNodes.Reset()
+	r.BackpressureThrottles.Reset()
+	r.BackpressureRejects.Reset()
 	r.PollLag.Reset()
 	r.CSNanos.Reset()
 	r.GraceNanos.Reset()

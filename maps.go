@@ -10,6 +10,7 @@ import (
 	"github.com/smrgo/hpbrcu/internal/ebr"
 	"github.com/smrgo/hpbrcu/internal/hp"
 	"github.com/smrgo/hpbrcu/internal/nbr"
+	"github.com/smrgo/hpbrcu/internal/reap"
 	"github.com/smrgo/hpbrcu/internal/stats"
 	"github.com/smrgo/hpbrcu/internal/vbr"
 )
@@ -19,19 +20,51 @@ type mapImpl struct {
 	scheme Scheme
 	reg    func() MapHandle
 	st     func() *stats.Reclamation
-	dom    *core.Domain   // non-nil for HP-RCU/HP-BRCU maps
-	wd     *core.Watchdog // non-nil when Config.Watchdog started one
+	dom    *core.Domain       // non-nil for HP-RCU/HP-BRCU maps
+	wd     *core.Watchdog     // non-nil when Config.Watchdog started one
+	rp     *core.Reaper       // non-nil when Config.Reaper started one
+	bp     *reap.Backpressure // non-nil when Config.Backpressure enabled
 }
 
-func (m *mapImpl) Register() MapHandle { return m.reg() }
-func (m *mapImpl) Stats() *Stats       { return m.st() }
-func (m *mapImpl) Scheme() Scheme      { return m.scheme }
+func (m *mapImpl) Register() MapHandle {
+	h := m.reg()
+	if m.bp != nil {
+		return pressureHandle{MapHandle: h, bp: m.bp}
+	}
+	return h
+}
+func (m *mapImpl) Stats() *Stats  { return m.st() }
+func (m *mapImpl) Scheme() Scheme { return m.scheme }
+
+// pressureHandle decorates a map handle with the backpressure admission
+// gate, surfacing TryInserter.
+type pressureHandle struct {
+	MapHandle
+	bp *reap.Backpressure
+}
+
+// TryInsert implements TryInserter: pass the ladder, then insert.
+func (h pressureHandle) TryInsert(key, val int64) (bool, error) {
+	if err := h.bp.Admit(); err != nil {
+		return false, err
+	}
+	return h.Insert(key, val), nil
+}
 
 // withDomain records the HP-(B)RCU domain for GarbageBound and starts the
-// self-healing watchdog when the configuration asks for one (HP-BRCU
-// domains only).
+// robustness services the configuration asks for (HP-BRCU domains only).
+// Order matters: backpressure installs before the reaper (whose tick
+// refreshes the thresholds), and the reaper — which flips the domain's
+// lease gate — starts before the watchdog goroutine exists, honouring the
+// plain-bool activation contract.
 func (m *mapImpl) withDomain(d *core.Domain, cfg Config) *mapImpl {
 	m.dom = d
+	if cfg.Backpressure.Enabled {
+		m.bp = d.EnableBackpressure(cfg.coreBackpressureConfig())
+	}
+	if cfg.Reaper.Enabled {
+		m.rp = d.StartReaper(cfg.CoreReaperConfig())
+	}
 	if cfg.Watchdog {
 		m.wd = d.StartWatchdog(cfg.WatchdogInterval, cfg.WatchdogFraction)
 	}
@@ -250,5 +283,16 @@ func StopWatchdog(m Map) {
 	if impl, ok := m.(*mapImpl); ok && impl.wd != nil {
 		impl.wd.Stop()
 		impl.wd = nil
+	}
+}
+
+// StopReaper stops the lease reaper started by Config.Reaper, waiting for
+// its goroutine to exit. It is a no-op for maps without one. Call exactly
+// once, after the map's workers have stopped (leaked goroutines excepted
+// — reaping them first is the point).
+func StopReaper(m Map) {
+	if impl, ok := m.(*mapImpl); ok && impl.rp != nil {
+		impl.rp.Stop()
+		impl.rp = nil
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/reap"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
@@ -127,6 +128,82 @@ type Config struct {
 	// WatchdogFraction is the fraction of the §5 bound at which
 	// unreclaimed growth triggers an escalation (default 0.75).
 	WatchdogFraction float64
+	// Reaper enables the lease-based orphan reaper on HP-BRCU maps: a
+	// per-domain goroutine that detects handles abandoned by dead worker
+	// goroutines (stale activity lease, no live critical section),
+	// quarantines them, and — after a grace period a live owner would use
+	// to object — adopts their deferred garbage and shields into the
+	// domain-global reclamation paths. Stop it with StopReaper before
+	// dropping the map. Ignored for every other scheme.
+	Reaper ReaperConfig
+	// Backpressure enables tiered memory backpressure on HP-BRCU maps,
+	// keyed to the §5 garbage bound (or an absolute ceiling): inline
+	// emergency drains, then allocation throttling, then fail-fast
+	// ErrMemoryPressure from TryInsert. Ignored for every other scheme.
+	Backpressure BackpressureConfig
+}
+
+// ReaperConfig configures the lease reaper (Config.Reaper). The zero
+// value disables it; zero durations select the defaults (250ms lease
+// timeout, 5ms tick, 4-tick grace).
+type ReaperConfig struct {
+	// Enabled turns the reaper on.
+	Enabled bool
+	// LeaseTimeout is how long a handle's activity lease may go unstamped
+	// before the handle is suspected dead.
+	LeaseTimeout time.Duration
+	// Interval is the reaper tick period.
+	Interval time.Duration
+	// Grace is the quarantine-to-reap confirmation delay.
+	Grace time.Duration
+}
+
+// BackpressureConfig configures the backpressure tiers (see
+// Config.Backpressure). The zero value disables them; zero fractions
+// select the defaults (0.5 / 0.75 / 0.9 of the base).
+type BackpressureConfig struct {
+	// Enabled turns the tiers on.
+	Enabled bool
+	// DrainFraction of the base triggers inline emergency drains on the
+	// retire path. A value above 1 disables inline drains (e.g. when the
+	// reaper is expected to do all the draining) without affecting the
+	// throttle and reject tiers.
+	DrainFraction float64
+	// ThrottleFraction of the base makes TryInsert back off before
+	// admitting the allocation.
+	ThrottleFraction float64
+	// RejectFraction of the base makes TryInsert fail fast with
+	// ErrMemoryPressure.
+	RejectFraction float64
+	// Ceiling, when positive, replaces the §5 bound as the base — an
+	// absolute unreclaimed-node budget.
+	Ceiling int64
+}
+
+// ErrMemoryPressure is returned by TryInsert when unreclaimed garbage has
+// reached the reject tier of the backpressure ladder. It is always
+// returned, never panicked; callers decide whether to shed load, retry,
+// or escalate.
+var ErrMemoryPressure = reap.ErrMemoryPressure
+
+// CoreReaperConfig lowers the public reaper options to the internal
+// config.
+func (c Config) CoreReaperConfig() core.ReaperConfig {
+	return core.ReaperConfig{
+		LeaseTimeout: c.Reaper.LeaseTimeout,
+		Interval:     c.Reaper.Interval,
+		Grace:        c.Reaper.Grace,
+	}
+}
+
+// coreBackpressureConfig lowers the public backpressure options.
+func (c Config) coreBackpressureConfig() reap.BackpressureConfig {
+	return reap.BackpressureConfig{
+		DrainFraction:    c.Backpressure.DrainFraction,
+		ThrottleFraction: c.Backpressure.ThrottleFraction,
+		RejectFraction:   c.Backpressure.RejectFraction,
+		Ceiling:          c.Backpressure.Ceiling,
+	}
 }
 
 // CoreConfig lowers the public options to the internal scheme config.
@@ -171,6 +248,25 @@ type Map interface {
 	Stats() *Stats
 	// Scheme reports which reclamation scheme protects this map.
 	Scheme() Scheme
+}
+
+// TryInserter is implemented by handles of maps with backpressure
+// enabled: TryInsert is Insert behind the admission gate.
+type TryInserter interface {
+	// TryInsert maps key to val like Insert, but first passes the
+	// backpressure ladder: it may back off briefly (throttle tier) and
+	// returns ErrMemoryPressure instead of inserting at the reject tier.
+	TryInsert(key, val int64) (bool, error)
+}
+
+// TryInsert inserts through h's backpressure gate when the map has one,
+// and falls back to a plain Insert otherwise — so callers can be written
+// against TryInsert regardless of configuration.
+func TryInsert(h MapHandle, key, val int64) (bool, error) {
+	if ti, ok := h.(TryInserter); ok {
+		return ti.TryInsert(key, val)
+	}
+	return h.Insert(key, val), nil
 }
 
 // ErrUnsupported is returned (via panic-free constructors' second result)

@@ -10,6 +10,7 @@ package hpbrcu_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -86,6 +87,222 @@ func TestSoakHPBRCUAllStructures(t *testing.T) {
 			t.Logf("retired=%d signals=%d rollbacks=%d peak=%d",
 				s.Retired, s.Signals, s.Rollbacks, s.PeakUnreclaimed)
 		})
+	}
+}
+
+// leakSoakConfig keeps the defer batch larger than anything a short-lived
+// worker retires, so a leaked handle's garbage really is stuck in its
+// private batch — the worst case for the reaper.
+func leakSoakConfig(reaper bool) hpbrcu.Config {
+	cfg := hpbrcu.Config{BatchSize: 64, ForceThreshold: 2, BackupPeriod: 16}
+	if reaper {
+		cfg.Reaper = hpbrcu.ReaperConfig{
+			Enabled:      true,
+			LeaseTimeout: 15 * time.Millisecond,
+			Interval:     2 * time.Millisecond,
+			Grace:        4 * time.Millisecond,
+		}
+	}
+	return cfg
+}
+
+// leakChurn runs `leakers` short-lived workers that each register, do a
+// few insert+remove pairs (retiring nodes into the private batch) and die
+// without Unregister, plus one law-abiding worker. Returns the map.
+func leakChurn(t *testing.T, cfg hpbrcu.Config, leakers int) hpbrcu.Map {
+	t.Helper()
+	m, err := hpbrcu.NewHList(hpbrcu.HPBRCU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < leakers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Register() // never unregistered: a leak
+			rng := rand.New(rand.NewSource(seed))
+			base := seed * 1000
+			for i := 0; i < 10; i++ {
+				k := base + rng.Int63n(64)
+				h.Insert(k, k)
+				h.Remove(k)
+			}
+		}(int64(w + 1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := m.Register()
+		defer h.Unregister()
+		for i := int64(0); i < 200; i++ {
+			h.Insert(i%32, i)
+			h.Remove(i % 32)
+		}
+	}()
+	wg.Wait()
+	return m
+}
+
+// TestSoakLeakWithReaperConverges is the tentpole's acceptance test, on
+// direction: goroutines die without Unregister, the reaper adopts their
+// handles, and the books converge to zero without anyone's cooperation.
+func TestSoakLeakWithReaperConverges(t *testing.T) {
+	const leakers = 4
+	m := leakChurn(t, leakSoakConfig(true), leakers)
+	defer hpbrcu.StopReaper(m)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := m.Stats().Snapshot()
+		if s.ReapedHandles >= leakers && s.Unreclaimed == 0 {
+			t.Logf("reaped=%d adopted=%d retired=%d", s.ReapedHandles, s.AdoptedNodes, s.Retired)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence: reaped=%d (want >= %d) unreclaimed=%d (want 0)",
+				s.ReapedHandles, leakers, s.Unreclaimed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSoakLeakWithoutReaperLeaks is the same churn with the reaper off:
+// the abandoned batches must stay stuck — otherwise the reaper tests above
+// would be vacuously green because something else cleaned up.
+func TestSoakLeakWithoutReaperLeaks(t *testing.T) {
+	m := leakChurn(t, leakSoakConfig(false), 4)
+
+	// Even a determined drain by a live handle cannot reach garbage stuck
+	// in a dead handle's private batch.
+	h := m.Register()
+	for i := 0; i < 8; i++ {
+		h.Barrier()
+	}
+	h.Unregister()
+	s := m.Stats().Snapshot()
+	if s.Unreclaimed == 0 {
+		t.Fatal("leaked handles' garbage drained without a reaper: the leak-soak premise is broken")
+	}
+	if s.ReapedHandles != 0 {
+		t.Fatalf("reaped=%d with the reaper disabled", s.ReapedHandles)
+	}
+}
+
+// TestSoakBackpressureCeiling hammers inserts through the admission gate
+// with a tiny absolute ceiling: the peak must respect the ceiling, Admit
+// must return ErrMemoryPressure (never panic), and the map must recover
+// once the pressure clears.
+func TestSoakBackpressureCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	cfg := hpbrcu.Config{
+		BatchSize: 16, ForceThreshold: 2, BackupPeriod: 16,
+		Backpressure: hpbrcu.BackpressureConfig{Enabled: true, Ceiling: 512},
+	}
+	m, err := hpbrcu.NewHList(hpbrcu.HPBRCU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	var rejects atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Register()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				k := rng.Int63n(128)
+				if _, err := hpbrcu.TryInsert(h, k, k); err != nil {
+					if err != hpbrcu.ErrMemoryPressure {
+						panic(err) // fail loudly inside the worker
+					}
+					rejects.Add(1)
+					continue
+				}
+				h.Remove(k)
+			}
+			h.Barrier()
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	h := m.Register()
+	for i := 0; i < 8; i++ {
+		h.Barrier()
+	}
+	// Recovery: with the garbage drained, admissions flow again.
+	if _, err := hpbrcu.TryInsert(h, 1, 1); err != nil {
+		t.Fatalf("TryInsert after drain = %v, want nil", err)
+	}
+	h.Remove(1)
+	h.Barrier()
+	h.Unregister()
+
+	s := m.Stats().Snapshot()
+	// The ladder's whole point: drains hold the line near the ceiling. The
+	// peak may overshoot by one in-flight batch per worker, never more.
+	slack := int64(4 * 16)
+	if s.PeakUnreclaimed > 512+slack {
+		t.Fatalf("peak unreclaimed %d far exceeds ceiling 512", s.PeakUnreclaimed)
+	}
+	t.Logf("peak=%d rejects=%d throttles=%d", s.PeakUnreclaimed, rejects.Load(), s.BackpressureThrottles)
+}
+
+// TestBackpressureRejectAndRecover pins the reject tier deterministically:
+// a leaked handle's stuck batch holds unreclaimed garbage above the
+// ceiling, a fresh handle's TryInsert fails fast with ErrMemoryPressure,
+// and draining the stuck batch restores admissions.
+func TestBackpressureRejectAndRecover(t *testing.T) {
+	cfg := hpbrcu.Config{
+		BatchSize: 64, ForceThreshold: 2, BackupPeriod: 16,
+		// DrainFraction 2.0 pushes the inline-drain tier above the ceiling
+		// so nothing interferes with the stuck garbage; reject fires at
+		// 0.9×32 ≈ 28.
+		Backpressure: hpbrcu.BackpressureConfig{Enabled: true, Ceiling: 32, DrainFraction: 2.0},
+	}
+	m, err := hpbrcu.NewHList(hpbrcu.HPBRCU, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 40 retires stuck in h1's private batch (BatchSize 64 > 40).
+	h1 := m.Register()
+	for k := int64(0); k < 40; k++ {
+		h1.Insert(k, k)
+	}
+	for k := int64(0); k < 40; k++ {
+		h1.Remove(k)
+	}
+
+	h2 := m.Register()
+	if _, err := hpbrcu.TryInsert(h2, 1000, 1); err != hpbrcu.ErrMemoryPressure {
+		t.Fatalf("TryInsert above the ceiling = %v, want ErrMemoryPressure", err)
+	}
+	// Plain Insert stays ungated: the paper's API semantics are unchanged.
+	if !h2.Insert(1001, 1) {
+		t.Fatal("plain Insert failed under pressure")
+	}
+	h2.Remove(1001)
+
+	// The stuck owner wakes up and flushes; pressure clears.
+	h1.Barrier()
+	h2.Barrier()
+	if _, err := hpbrcu.TryInsert(h2, 1000, 1); err != nil {
+		t.Fatalf("TryInsert after recovery = %v, want nil", err)
+	}
+	h2.Remove(1000)
+	h1.Unregister()
+	h2.Barrier()
+	h2.Unregister()
+
+	s := m.Stats().Snapshot()
+	if s.BackpressureRejects == 0 {
+		t.Fatal("the reject tier never fired")
 	}
 }
 
