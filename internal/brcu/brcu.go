@@ -70,6 +70,13 @@ const (
 	// its batch and shields adopted. A waking owner re-registers
 	// (resurrects) before continuing.
 	phaseReaped
+	// phaseInMut: the owner is mutating reaper-adoptable state (the defer
+	// batch, the HP retired list) outside any critical section. The phase
+	// is un-quarantinable — TryQuarantine refuses it — so an owner
+	// descheduled mid-mutation can never be reaped while its batch is in
+	// flight; and, being ≥ phaseRbReq, it never blocks an epoch advance
+	// (the owner holds no critical section). See BeginMut.
+	phaseInMut
 )
 
 const phaseBits = 3
@@ -280,13 +287,14 @@ func (h *Handle) SetExecutor(exec func(alloc.Retired)) { h.exec = exec }
 // the domain membership there). Owner-goroutine-only, set at registration.
 func (h *Handle) SetResurrect(fn func()) { h.onResurrect = fn }
 
-// Lease returns the handle's last activity stamp (UnixNano). The reaper's
-// load of this word is also the acquire edge that orders the owner's last
-// batch mutations before any adoption (see DESIGN.md §9).
+// Lease returns the handle's last activity stamp (UnixNano). The lease
+// is purely a liveness signal: adoption safety comes from the status
+// word (the Reaping phase excludes the owner, and BeginMut makes every
+// batch mutation un-quarantinable), not from lease ordering.
 func (h *Handle) Lease() int64 { return h.lease.Load() }
 
-// StampLease refreshes the activity lease, publishing any preceding batch
-// or retired-list mutations to the reaper. No-op while leases are off.
+// StampLease refreshes the activity lease so the reaper keeps treating
+// the owner as alive. No-op while leases are off.
 func (h *Handle) StampLease() {
 	if h.d.leaseOn {
 		h.lease.Store(h.d.clock.Load())
@@ -314,8 +322,9 @@ func (h *Handle) settle() uint64 {
 			}
 			// Lost to the reaper's Quarantined→Reaping CAS; re-read.
 		case phaseReaping:
-			// Adoption is short and bounded (two slice moves under
-			// domain mutexes); wait for FinishReap.
+			// The reap is short and bounded (slice moves and registry
+			// copy-on-writes under domain mutexes, no waiting on other
+			// owners); wait for FinishReap.
 			runtime.Gosched()
 		default:
 			return ph
@@ -323,13 +332,77 @@ func (h *Handle) settle() uint64 {
 	}
 }
 
-// ensureLive is the owner-side half of the reap protocol, called at every
-// rollback-unsafe entry point while leases are enabled: it cancels a
-// pending quarantine, resurrects a reaped handle, and refreshes the lease.
-func (h *Handle) ensureLive() {
-	if h.settle() == phaseReaped {
-		h.resurrect()
+// enterLeased is Enter with the reap protocol live: resolve any reaper
+// phase (cancelling a quarantine, resurrecting after a reap), then CAS
+// into the critical section. The transition must be a CAS, not a blind
+// store — an owner descheduled between resolving the phase and the store
+// could be quarantined and reaped in the gap, and a blind InCs store
+// would overwrite the Reaped word and run a critical section on a handle
+// the reaper has already stripped from the registries.
+func (h *Handle) enterLeased() {
+	h.lease.Store(h.d.clock.Load())
+	for {
+		if h.settle() == phaseReaped {
+			h.resurrect()
+		}
+		st := h.status.Load()
+		if ph, _ := unpack(st); ph >= phaseQuarantined {
+			continue // the reaper moved again; settle once more
+		}
+		// st is Out or a stale RbReq from the previous section; both are
+		// superseded by the new section.
+		if h.status.CompareAndSwap(st, pack(phaseInCs, h.d.epoch.Load())) {
+			return
+		}
 	}
+}
+
+// BeginMut claims the un-reapable InMut phase around an owner-side
+// mutation of reaper-adoptable state (the defer batch; in internal/core
+// also the HP retired list) performed outside critical sections. It first
+// resolves any reaper phase — cancelling a pending quarantine,
+// resurrecting a reaped handle — so after it returns a reap can only have
+// happened entirely before the mutation, never concurrently with it: the
+// status word, not the lease clock, is what makes adoption race-free.
+//
+// It reports whether the phase was claimed; false means the handle is
+// already un-reapable (leases off, inside a masked region, or an
+// enclosing BeginMut). Call EndMut exactly when it returns true.
+func (h *Handle) BeginMut() bool {
+	if !h.d.leaseOn {
+		return false
+	}
+	ph, _ := unpack(h.status.Load())
+	if ph == phaseInRm || ph == phaseInMut {
+		return false
+	}
+	if ph == phaseInCs {
+		panic("brcu: BeginMut inside an unmasked critical section")
+	}
+	// End the lease staleness up front so the reaper stops re-arming
+	// quarantines while we spin below.
+	h.lease.Store(h.d.clock.Load())
+	for {
+		if h.settle() == phaseReaped {
+			h.resurrect()
+		}
+		st := h.status.Load()
+		if ph, _ := unpack(st); ph >= phaseQuarantined {
+			continue // the reaper moved again; settle once more
+		}
+		// st is Out (or a stale RbReq with no section to roll back —
+		// superseded, exactly as Exit would have).
+		if h.status.CompareAndSwap(st, pack(phaseInMut, 0)) {
+			return true
+		}
+	}
+}
+
+// EndMut leaves the InMut phase. The reaper never touches InMut, so the
+// store cannot smash a reaper-owned word; the trailing lease stamp keeps
+// the lease fresh across the mutation it just published.
+func (h *Handle) EndMut() {
+	h.status.Store(pack(phaseOut, 0))
 	h.lease.Store(h.d.clock.Load())
 }
 
@@ -379,10 +452,27 @@ func (h *Handle) TryBeginReap() bool {
 	return h.status.CompareAndSwap(pack(phaseQuarantined, 0), pack(phaseReaping, 0))
 }
 
-// FinishReap publishes the end of adoption: Reaping → Reaped. An owner
+// FinishReap publishes the end of a reap: Reaping → Reaped. An owner
 // spinning in settle proceeds to resurrect only after this store, which
-// is what makes adoption atomic against resurrection.
+// is what makes the whole reap — adoption AND registry removal — atomic
+// against resurrection: the reaper must call it only after the victim
+// has left every registry, or a resurrecting owner could be stripped
+// from them while live.
 func (h *Handle) FinishReap() { h.status.Store(pack(phaseReaped, 0)) }
+
+// CancelReap aborts a confirmed reap without adopting: Reaping → Out.
+// The handle stays registered and its owner, if merely slow, continues
+// with its state intact — no resurrection, no generation bump. The
+// reaper uses it for victims with nothing to adopt, so an idle-but-alive
+// handle is never churned through reap/resurrect cycles. Reaper-only,
+// between TryBeginReap and what would have been FinishReap.
+func (h *Handle) CancelReap() { h.status.Store(pack(phaseOut, 0)) }
+
+// BatchEmpty reports whether the handle's local defer batch is empty.
+// Reaper-only, between TryBeginReap and FinishReap/CancelReap — the
+// Reaping phase excludes the owner, which is what makes reading the
+// plain slice safe.
+func (h *Handle) BatchEmpty() bool { return len(h.batch) == 0 }
 
 // AdoptBatch moves the handle's local deferred batch into the global task
 // set, tagged with the current epoch, as if the (dead) owner had flushed
@@ -412,7 +502,9 @@ func (h *Handle) AdoptBatch() int {
 }
 
 // RemoveAll bulk-removes reaped handles from the registry with a single
-// copy-on-write publication.
+// copy-on-write publication. The reaper must call it while every handle
+// is still in the Reaping phase (before FinishReap), so no owner can
+// resurrect — and re-register — concurrently with the removal.
 func (d *Domain) RemoveAll(hs []*Handle) {
 	if len(hs) == 0 {
 		return
@@ -426,35 +518,38 @@ func (d *Domain) RemoveAll(hs []*Handle) {
 }
 
 // Unregister removes the thread, flushing pending deferred tasks first.
-// Unregistering a handle the reaper already adopted is a no-op.
+// Unregistering a handle the reaper already adopted resurrects it first
+// and then removes it, so the registry and the population gauge stay
+// balanced no matter how a reap interleaves.
 func (h *Handle) Unregister() {
-	if h.d.leaseOn {
-		if h.settle() == phaseReaped {
-			// The reaper adopted this handle's state and removed it
-			// from the registry; nothing is left to release.
-			return
-		}
-		h.lease.Store(h.d.clock.Load())
-	}
 	if ph, _ := unpack(h.status.Load()); ph == phaseInCs || ph == phaseInRm {
 		panic("brcu: unregister inside a critical section")
 	}
+	// Hold InMut across the flush and the registry removal: a reap can
+	// then only land entirely before this point (resolved by BeginMut via
+	// resurrection), never concurrently with the teardown — which is what
+	// keeps the population gauge from being double-decremented.
+	claimed := h.BeginMut()
 	if len(h.batch) > 0 {
 		h.flush()
 	}
 	h.d.handles.Remove(h)
 	h.d.population.Add(-1)
+	if claimed {
+		h.EndMut()
+	}
 }
 
 // Enter begins (or re-begins, after a rollback) a critical section: it
 // announces InCs with the current global epoch (Algorithm 5 line 16). Any
 // pending RbReq from a previous section is superseded.
 func (h *Handle) Enter() {
-	if h.d.leaseOn {
-		h.ensureLive()
-	}
 	if obs.On {
 		h.csStart = obs.Nanos()
+	}
+	if h.d.leaseOn {
+		h.enterLeased()
+		return
 	}
 	h.status.Store(pack(phaseInCs, h.d.epoch.Load()))
 }
@@ -650,17 +745,14 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	// only run under an abort mask, where the rollback is deferred past
 	// it. Catch the misuse that would otherwise corrupt the task
 	// registry on a rollback.
-	ph, _ := unpack(h.status.Load())
-	if ph == phaseInCs {
+	if ph, _ := unpack(h.status.Load()); ph == phaseInCs {
 		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1)")
 	}
-	if h.d.leaseOn && ph != phaseInRm {
-		// Outside any section the reaper may have quarantined or even
-		// reaped us; resolve before mutating the batch. (Inside a masked
-		// region the status word already says InRm, which the reaper
-		// never touches.)
-		h.ensureLive()
-	}
+	// Hold the un-reapable InMut phase across the batch mutation: a
+	// quarantine can then only land before or after it, never while the
+	// append/flush is in flight. No-op inside a masked region or an
+	// enclosing BeginMut, where the reaper already cannot touch us.
+	claimed := h.BeginMut()
 	r := alloc.Retired{Slot: slot, Pool: pool}
 	if obs.On {
 		r.At = obs.Nanos()
@@ -669,10 +761,11 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	if len(h.batch) >= h.d.maxLocalTasks {
 		h.flushAndAdvance()
 	}
-	if h.d.leaseOn {
-		// Release edge: publishes the batch mutation above to the reaper
-		// (whose Lease() load is the matching acquire) before the lease
-		// can look fresh.
+	if claimed {
+		h.EndMut()
+	} else if h.d.leaseOn {
+		// Masked region: the status word already protects the mutation;
+		// just keep the lease fresh.
 		h.lease.Store(h.d.clock.Load())
 	}
 }
@@ -837,14 +930,16 @@ func (h *Handle) executeExpired(eg uint64) {
 // until they have executed. Used by teardown paths and tests; concurrent
 // critical sections will be neutralized.
 func (h *Handle) Barrier() {
-	if h.d.leaseOn {
-		h.ensureLive()
-	}
+	// Hold InMut across the forced flushes (see DeferNoCount); no-op when
+	// an enclosing BeginMut — e.g. internal/core's composed Barrier —
+	// already claimed it.
+	claimed := h.BeginMut()
 	for i := 0; i < 4; i++ {
 		h.ForceFlush()
 	}
-	if h.d.leaseOn {
-		// Release edge for the flush's batch mutations (see DeferNoCount).
+	if claimed {
+		h.EndMut()
+	} else if h.d.leaseOn {
 		h.lease.Store(h.d.clock.Load())
 	}
 }

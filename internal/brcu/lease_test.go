@@ -1,6 +1,7 @@
 package brcu
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -155,24 +156,171 @@ func TestResurrectionAfterReap(t *testing.T) {
 	}
 }
 
-func TestUnregisterAfterReapIsNoop(t *testing.T) {
+func TestUnregisterAfterReapBalancesBooks(t *testing.T) {
 	d := leaseDomain(t)
 	h := d.Register()
 	if !h.TryQuarantine() || !h.TryBeginReap() {
 		t.Fatal("reap protocol refused an idle handle")
 	}
 	h.AdoptBatch()
-	h.FinishReap()
 	d.RemoveAll([]*Handle{h})
+	h.FinishReap()
 
-	// A defer-ed Unregister finally firing on a reaped handle must not
-	// double-remove or flush adopted state.
+	// A defer-ed Unregister finally firing on a reaped handle resurrects
+	// it (BeginMut) and then removes it — the registry and the population
+	// gauge must come out balanced, not double-decremented.
 	h.Unregister()
 	if d.handles.Len() != 0 {
 		t.Fatalf("registry has %d handles, want 0", d.handles.Len())
 	}
 	if got := d.population.Peak(); got != 1 {
 		t.Fatalf("population peak = %d, want 1", got)
+	}
+	if got := d.population.Load(); got != 0 {
+		t.Fatalf("population = %d after unregister, want 0", got)
+	}
+}
+
+func TestBeginMutBlocksQuarantine(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	defer h.Unregister()
+
+	if !h.BeginMut() {
+		t.Fatal("BeginMut failed to claim on an idle handle")
+	}
+	// Mid-mutation the handle must be un-quarantinable: a reaper arriving
+	// while the batch is being appended/flushed could otherwise adopt the
+	// very slice the owner is writing.
+	if h.TryQuarantine() {
+		t.Fatal("TryQuarantine succeeded during BeginMut")
+	}
+	if h.BeginMut() {
+		t.Fatal("nested BeginMut claimed twice")
+	}
+	h.EndMut()
+	if !h.TryQuarantine() {
+		t.Fatal("TryQuarantine failed after EndMut")
+	}
+	// Leave the handle clean for the deferred Unregister.
+	h.Enter()
+	h.Exit()
+}
+
+func TestBeginMutResolvesQuarantine(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+	defer h.Unregister()
+
+	if !h.TryQuarantine() {
+		t.Fatal("TryQuarantine failed")
+	}
+	// The owner's next batch mutation cancels the quarantine on its way
+	// into InMut, exactly like Enter would.
+	if !h.BeginMut() {
+		t.Fatal("BeginMut failed on a quarantined handle")
+	}
+	if h.TryBeginReap() {
+		t.Fatal("TryBeginReap succeeded after BeginMut cancelled the quarantine")
+	}
+	h.EndMut()
+	if h.Gen() != 0 {
+		t.Fatal("cancelling a quarantine via BeginMut must not count as a resurrection")
+	}
+}
+
+func TestCancelReapLeavesOwnerUntouched(t *testing.T) {
+	d := leaseDomain(t)
+	h := d.Register()
+
+	if !h.TryQuarantine() || !h.TryBeginReap() {
+		t.Fatal("reap protocol refused an idle handle")
+	}
+	if !h.BatchEmpty() {
+		t.Fatal("fresh handle reports a non-empty batch")
+	}
+	h.CancelReap()
+	if ph, _ := unpack(h.status.Load()); ph != phaseOut {
+		t.Fatalf("phase = %d after CancelReap, want Out", ph)
+	}
+	// No resurrection happened: same generation, same registration.
+	h.Enter()
+	h.Exit()
+	if h.Gen() != 0 {
+		t.Fatalf("gen = %d after a cancelled reap, want 0", h.Gen())
+	}
+	if d.handles.Len() != 1 {
+		t.Fatalf("registry has %d handles, want 1", d.handles.Len())
+	}
+	h.Unregister()
+}
+
+// TestDeferReapRace drives an owner continuously deferring (with flushes)
+// against a scripted reaper hammering the full reap protocol with no
+// lease patience at all, under the race detector: the InMut phase must
+// serialize every batch mutation against adoption, and the
+// Remove-before-FinishReap order must keep the registry and the
+// population gauge balanced through any interleaving of reap,
+// resurrection, and the final Unregister.
+func TestDeferReapRace(t *testing.T) {
+	pool := alloc.NewPool[node]()
+	cache := pool.NewCache()
+	d := NewDomain(nil, WithMaxLocalTasks(4), WithForceThreshold(1000000))
+	d.EnableLeases()
+	h := d.Register()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the reaper: quarantine → confirm → adopt → remove → publish
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if h.TryQuarantine() && h.TryBeginReap() {
+				if h.BatchEmpty() {
+					h.CancelReap()
+					continue
+				}
+				h.AdoptBatch()
+				d.RemoveAll([]*Handle{h})
+				h.FinishReap()
+			}
+		}
+	}()
+
+	const retires = 2000
+	for i := 0; i < retires; i++ {
+		retireOne(t, pool, cache, h)
+	}
+	close(done)
+	wg.Wait()
+	h.Unregister()
+
+	if got := d.population.Load(); got != 0 {
+		t.Fatalf("population = %d after the storm, want 0", got)
+	}
+	if got := d.handles.Len(); got != 0 {
+		t.Fatalf("registry has %d handles after the storm, want 0", got)
+	}
+
+	// Everything the owner retired is either already reclaimed or parked
+	// in the global task set (flushed or adopted); a fresh drainer must be
+	// able to recover all of it.
+	drainer := d.Register()
+	drainer.Barrier()
+	drainer.Unregister()
+	if got := d.rec.Unreclaimed.Load(); got != 0 {
+		t.Fatalf("unreclaimed = %d after the drain, want 0", got)
+	}
+	if got := d.rec.Retired.Load(); got != retires {
+		t.Fatalf("retired = %d, want %d", got, retires)
+	}
+	if got := d.rec.Reclaimed.Load(); got != retires {
+		t.Fatalf("reclaimed = %d, want %d", got, retires)
 	}
 }
 

@@ -240,14 +240,27 @@ func (d *Domain) register(exempt bool) *Handle {
 
 // Unregister removes the thread from both domains.
 func (h *Handle) Unregister() {
+	// Claim the un-reapable phase across the teardown of both halves: a
+	// reap can then only land entirely before this point, in which case
+	// BeginMut resurrects the handle (re-adding it to members and the HP
+	// registry via the resurrect hook) so the removals below stay
+	// balanced. Without it, a reap between the two halves would strip
+	// registries and gauges a second time.
+	claimed := false
+	if h.brcu != nil {
+		claimed = h.brcu.BeginMut()
+	}
 	h.d.members.Remove(h)
 	if h.rcu != nil {
 		h.rcu.Unregister()
 	}
 	if h.brcu != nil {
-		h.brcu.Unregister()
+		h.brcu.Unregister() // nested BeginMut no-ops under ours
 	}
 	h.HP.Unregister()
+	if claimed {
+		h.brcu.EndMut()
+	}
 }
 
 // NewShield creates an HP shield owned by this thread.
@@ -279,11 +292,18 @@ func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 // flush-and-advance on the BRCU (expiring what a grace period allows) and
 // an HP shield scan over the result.
 func (h *Handle) emergencyDrain() {
+	// Both steps mutate reaper-adoptable state (the BRCU batch, the HP
+	// retired list); hold the un-quarantinable InMut phase across them.
+	// Inside a masked region BeginMut no-ops — the InRm word already
+	// excludes the reaper.
+	claimed := h.brcu.BeginMut()
 	h.brcu.ForceFlush()
 	h.HP.Reclaim()
-	// The reclaim mutated this handle's retired list outside the defer
-	// path; re-stamp so the release edge covers it (see brcu.StampLease).
-	h.brcu.StampLease()
+	if claimed {
+		h.brcu.EndMut()
+	} else {
+		h.brcu.StampLease()
+	}
 }
 
 // Mask runs body as an abort-masked region (§4.2). Under HP-BRCU this is
@@ -302,16 +322,21 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 // steps. For teardown and tests; see the scheme packages for caveats.
 func (h *Handle) Barrier() {
 	if h.brcu != nil {
+		// One InMut span over both steps: the HP reclaim mutates this
+		// handle's retired list too, so it needs the same protection from
+		// a concurrent reap as the BRCU flushes.
+		claimed := h.brcu.BeginMut()
 		h.brcu.Barrier()
-	} else {
-		h.rcu.Barrier()
+		h.HP.Reclaim()
+		if claimed {
+			h.brcu.EndMut()
+		} else {
+			h.brcu.StampLease()
+		}
+		return
 	}
+	h.rcu.Barrier()
 	h.HP.Reclaim()
-	if h.brcu != nil {
-		// Publish the reclaim's retired-list mutations to the lease
-		// reaper (no-op while leases are off).
-		h.brcu.StampLease()
-	}
 }
 
 // Pin enters a bare critical section on the underlying (B)RCU — no

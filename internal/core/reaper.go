@@ -104,6 +104,14 @@ func (h *Handle) Adopt() int {
 // FinishReap publishes the end of adoption.
 func (h *Handle) FinishReap() { h.brcu.FinishReap() }
 
+// CancelReap aborts a confirmed reap without adopting anything.
+func (h *Handle) CancelReap() { h.brcu.CancelReap() }
+
+// Empty reports whether a reap of this handle would adopt nothing: both
+// halves hold no deferred or retired node and no shield protects. Called
+// only while the Reaping phase excludes the owner.
+func (h *Handle) Empty() bool { return h.brcu.BatchEmpty() && h.HP.Empty() }
+
 // --- reap.Target over the domain --------------------------------------
 
 type reapTarget struct {
@@ -122,6 +130,10 @@ func (t *reapTarget) Victims() []reap.Victim {
 	return vs
 }
 
+// Remove strips the victims from all three registries (members, BRCU,
+// HP). The reaper calls it while every victim is still in the Reaping
+// phase — before FinishReap — so no owner can resurrect concurrently and
+// have its fresh registration removed out from under it.
 func (t *reapTarget) Remove(vs []reap.Victim) {
 	hs := make([]*Handle, len(vs))
 	for i, v := range vs {

@@ -161,6 +161,22 @@ func (d *Domain) Adopt(h *Handle) int {
 	return n
 }
 
+// Empty reports whether this handle holds nothing a reaper would adopt:
+// no retired nodes and no set shield. Reaper-only, called while the brcu
+// Reaping phase excludes the owner (which is what makes reading the
+// plain retired slice safe).
+func (h *Handle) Empty() bool {
+	if len(h.retired) > 0 {
+		return false
+	}
+	for _, s := range *h.shields.Load() {
+		if s.Get() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Readopt resurrects a reaped handle whose owner turned out to be alive:
 // re-register and re-account the (cleared but still referenced) shields.
 // No-op unless the handle was actually reaped.

@@ -18,18 +18,28 @@
 //   - a quarantine that survives the Grace period is *confirmed* (phase
 //     two: CAS Quarantined→Reaping), the handle's deferred batch and
 //     retired list are adopted into the domain-global reclamation paths,
-//     its shields are cleared, and it is removed from the registry.
+//     its shields are cleared, and it is removed from the registry —
+//     strictly in that order, with FinishReap published only after the
+//     registry removal (see below);
+//   - a confirmed victim with nothing to adopt (empty batch and retired
+//     list, no set shield) is not reaped at all: the reap is cancelled
+//     (Reaping→Out) and the victim parked until its lease moves, so a
+//     registered-but-idle handle is never churned through reap/resurrect
+//     cycles (its only cost, if truly dead, is a registry slot).
 //
-// Memory ordering: the owner stamps its lease *after* mutating its batch
-// (a release edge), and the reaper re-reads the lease immediately before
-// confirming (the acquire edge) — a reap proceeds only if the lease still
-// holds the exact value observed at quarantine time, so every owner
-// mutation the reaper could adopt happens-before the adoption.
+// Safety: the owner's transitions out of a reapable state are CASes on
+// the status word (enter a critical section, claim the mutating InMut
+// phase around batch mutation, cancel a quarantine), so the reaper and
+// the owner serialize through that one word — a reap can never overlap
+// an owner-side mutation of the adopted state, and the Reaping phase
+// excludes a waking owner for the reap's whole span. The lease is purely
+// the liveness heuristic that decides when to try.
 //
 // A slow-but-alive owner that wakes after the full reap finds its handle
 // in the Reaped phase and resurrects: it re-registers and continues, its
-// old garbage already safely adopted. The race between resurrection and
-// adoption is closed by the Reaping phase, which the owner spins on.
+// old garbage already safely adopted. The reaper publishes Reaped only
+// after the victim has left every registry, so a resurrection — which
+// re-registers — can never be undone by the reap's own removal.
 package reap
 
 import (
@@ -52,24 +62,32 @@ const (
 // composed Handle implements it; the indirection keeps this package free
 // of scheme imports (and mockable in tests).
 type Victim interface {
-	// Lease returns the victim's last activity stamp (UnixNano). This
-	// load is the acquire edge of the adoption protocol.
+	// Lease returns the victim's last activity stamp (UnixNano).
 	Lease() int64
 	// Exempt reports whether the handle must never be reaped (service
 	// handles owned by the watchdog and the reaper itself).
 	Exempt() bool
 	// TryQuarantine begins phase one; false means the victim is inside a
-	// live critical section or already mid-reap.
+	// live critical section, mid-mutation, or already mid-reap.
 	TryQuarantine() bool
 	// TryBeginReap confirms phase two; false means the owner woke up and
 	// cancelled the quarantine.
 	TryBeginReap() bool
+	// Empty reports whether a reap would adopt nothing (empty batch and
+	// retired list, no set shield). Called only between TryBeginReap and
+	// FinishReap/CancelReap, where the owner is excluded.
+	Empty() bool
+	// CancelReap aborts a confirmed reap without adopting: the victim
+	// stays registered and its owner, if alive, continues untouched.
+	CancelReap()
 	// Adopt moves the victim's deferred batch and retired list into the
 	// domain-global paths and clears its protections, returning the
 	// number of adopted nodes. Called only between TryBeginReap and
 	// FinishReap.
 	Adopt() int
-	// FinishReap publishes the end of adoption.
+	// FinishReap publishes the end of the reap. The reaper calls it only
+	// after Target.Remove, so a resurrecting owner can never be stripped
+	// from the registries while live.
 	FinishReap()
 }
 
@@ -79,7 +97,9 @@ type Target interface {
 	PublishClock(now int64)
 	// Victims snapshots the current membership.
 	Victims() []Victim
-	// Remove bulk-removes reaped victims from the domain registries.
+	// Remove bulk-removes victims mid-reap from the domain registries.
+	// Called between TryBeginReap and FinishReap, while every victim is
+	// still in the Reaping phase and its owner therefore excluded.
 	Remove(vs []Victim)
 	// PostReap runs after a pass that reaped at least one victim — the
 	// hook where internal/core forces a flush-and-reclaim round so the
@@ -110,6 +130,11 @@ type Config struct {
 type quarantine struct {
 	at    int64
 	lease int64
+	// empty marks a victim whose confirmed reap found nothing to adopt:
+	// the reap was cancelled and the victim parked until its lease moves,
+	// instead of cycling it through quarantine→confirm→cancel each grace
+	// period.
+	empty bool
 }
 
 // Reaper is a running per-domain reaper goroutine; see Start.
@@ -118,14 +143,20 @@ type Reaper struct {
 	cfg Config
 
 	quarantined map[Victim]quarantine
-	// cleanup is set after any adoption and holds until the books balance
-	// once: adopted garbage can land in places no worker will ever drain
-	// again (the global task set, HP orphans, the drain handle's own
-	// retired batch — e.g. nodes a still-live shield protected at adoption
-	// time), so the reaper keeps running PostReap until Unreclaimed hits
-	// zero, then goes quiet again.
-	cleanup bool
-	trace   *obs.Trace
+	// cleanup is set after any adoption: adopted garbage can land in
+	// places no worker will ever drain again (the global task set, HP
+	// orphans, the drain handle's own retired batch — e.g. nodes a
+	// still-live shield protected at adoption time), so the reaper keeps
+	// running PostReap each tick — but only while the rounds make
+	// progress. cleanupLast is the Unreclaimed level after the previous
+	// round; a round that fails to lower it ends cleanup mode (with live
+	// workers retiring, the gauge may never touch zero, and an unbounded
+	// forced-advance loop would collapse their throughput — what the
+	// drains can't reach, the workers or the watchdog's quiet-but-dirty
+	// sweep will).
+	cleanup     bool
+	cleanupLast int64
+	trace       *obs.Trace
 	// last* remember the counter levels already mirrored into the trace.
 	lastThrottles int64
 	lastRejects   int64
@@ -199,21 +230,25 @@ func (r *Reaper) tick(now int64) {
 	vs := r.tgt.Victims()
 
 	live := make(map[Victim]bool, len(vs))
-	var reaped []Victim
-	adopted := 0
+	var reaping []Victim
 	for _, v := range vs {
 		live[v] = true
 		if v.Exempt() {
 			continue
 		}
 		if q, ok := r.quarantined[v]; ok {
-			// Acquire edge: everything the owner mutated before its
-			// last lease stamp is visible after this load.
 			lease := v.Lease()
 			if lease != q.lease {
 				// The owner moved: alive after all (its next entry
 				// point cancels the quarantine CAS itself).
 				delete(r.quarantined, v)
+				continue
+			}
+			if q.empty {
+				// Parked: a previous confirm found nothing to adopt.
+				// Nothing can appear while the lease is frozen (growing
+				// the batch or retired list is an activity point), so
+				// skip without touching the victim at all.
 				continue
 			}
 			if now-q.at < int64(r.cfg.Grace) {
@@ -223,15 +258,18 @@ func (r *Reaper) tick(now int64) {
 			if !v.TryBeginReap() {
 				continue // owner won the quarantine CAS
 			}
-			n := v.Adopt()
-			v.FinishReap()
-			reaped = append(reaped, v)
-			adopted += n
-			r.cfg.Rec.ReapedHandles.Inc()
-			r.cfg.Rec.AdoptedNodes.Add(int64(n))
-			if obs.On {
-				r.trace.Rec(obs.EvAdopt, int64(n))
+			// Owner excluded from here to FinishReap/CancelReap.
+			if v.Empty() {
+				// Nothing to adopt: cancel instead of churning a merely
+				// idle handle through reap/resurrect (which would clear
+				// nothing but still invalidate its traversal
+				// checkpoints), and park it until its lease moves. A
+				// truly dead empty handle costs only its registry slot.
+				v.CancelReap()
+				r.quarantined[v] = quarantine{at: now, lease: lease, empty: true}
+				continue
 			}
+			reaping = append(reaping, v)
 			continue
 		}
 		lease := v.Lease()
@@ -255,22 +293,45 @@ func (r *Reaper) tick(now int64) {
 		}
 	}
 
-	if len(reaped) > 0 {
-		r.tgt.Remove(reaped)
+	if len(reaping) > 0 {
+		// Every victim is in the Reaping phase: its owner, should it wake,
+		// spins until FinishReap. Adopt and deregister all of them inside
+		// that exclusion window — publishing Reaped before the registry
+		// removal would let an owner resurrect (re-register) and then have
+		// the batched removal strip its live registration, leaving its
+		// shields unscanned and its critical sections invisible.
+		for _, v := range reaping {
+			n := v.Adopt()
+			r.cfg.Rec.ReapedHandles.Inc()
+			r.cfg.Rec.AdoptedNodes.Add(int64(n))
+			if obs.On {
+				r.trace.Rec(obs.EvAdopt, int64(n))
+			}
+		}
+		r.tgt.Remove(reaping)
+		for _, v := range reaping {
+			v.FinishReap()
+		}
 		r.tgt.PostReap()
 		r.cleanup = true
+		r.cleanupLast = int64(^uint64(0) >> 1) // MaxInt64: first round always runs
 		if obs.On {
-			r.trace.Rec(obs.EvReap, int64(len(reaped)))
+			r.trace.Rec(obs.EvReap, int64(len(reaping)))
 		}
 	} else if r.cleanup {
-		// Finish what the reap started: keep forcing drain rounds until
-		// the unreclaimed gauge touches zero once. With every worker dead
-		// there is nobody else left to advance the epoch or reclaim what
-		// the adoption parked in the global paths.
-		if r.cfg.Rec.Unreclaimed.Load() > 0 {
-			r.tgt.PostReap()
-		} else {
+		// Finish what the reap started: with every worker dead there is
+		// nobody else left to advance the epoch or reclaim what the
+		// adoption parked in the global paths. But only force rounds that
+		// make progress: with live workers continuously retiring, the
+		// gauge never touches zero, and forcing flush-and-advance every
+		// tick forever would keep neutralizing their critical sections.
+		u := r.cfg.Rec.Unreclaimed.Load()
+		switch {
+		case u <= 0 || u >= r.cleanupLast:
 			r.cleanup = false
+		default:
+			r.cleanupLast = u
+			r.tgt.PostReap()
 		}
 	}
 

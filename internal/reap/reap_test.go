@@ -10,21 +10,32 @@ import (
 
 // mockVictim scripts one handle through the reap protocol.
 type mockVictim struct {
-	lease    atomic.Int64
-	exempt   bool
-	inCS     bool // TryQuarantine fails, like a live critical section
-	cancel   bool // owner wins the quarantine CAS: TryBeginReap fails
-	adoptN   int
-	adopted  int
-	finished int
+	lease     atomic.Int64
+	exempt    bool
+	inCS      bool // TryQuarantine fails, like a live critical section
+	cancel    bool // owner wins the quarantine CAS: TryBeginReap fails
+	empty     bool // Empty reports nothing to adopt
+	adoptN    int
+	began     int
+	adopted   int
+	finished  int
+	cancelled int
 }
 
 func (v *mockVictim) Lease() int64        { return v.lease.Load() }
 func (v *mockVictim) Exempt() bool        { return v.exempt }
 func (v *mockVictim) TryQuarantine() bool { return !v.inCS }
-func (v *mockVictim) TryBeginReap() bool  { return !v.cancel }
-func (v *mockVictim) Adopt() int          { v.adopted++; return v.adoptN }
-func (v *mockVictim) FinishReap()         { v.finished++ }
+func (v *mockVictim) TryBeginReap() bool {
+	if v.cancel {
+		return false
+	}
+	v.began++
+	return true
+}
+func (v *mockVictim) Empty() bool { return v.empty }
+func (v *mockVictim) CancelReap() { v.cancelled++ }
+func (v *mockVictim) Adopt() int  { v.adopted++; return v.adoptN }
+func (v *mockVictim) FinishReap() { v.finished++ }
 
 // mockTarget is a scripted domain.
 type mockTarget struct {
@@ -32,12 +43,22 @@ type mockTarget struct {
 	victims  []Victim
 	removed  []Victim
 	postReap int
+	// removeSawFinished records whether any victim had already published
+	// FinishReap when Remove ran — the ordering the UAF fix forbids.
+	removeSawFinished bool
 }
 
 func (t *mockTarget) PublishClock(now int64) { t.clock = now }
 func (t *mockTarget) Victims() []Victim      { return t.victims }
-func (t *mockTarget) Remove(vs []Victim)     { t.removed = append(t.removed, vs...) }
-func (t *mockTarget) PostReap()              { t.postReap++ }
+func (t *mockTarget) Remove(vs []Victim) {
+	for _, v := range vs {
+		if v.(*mockVictim).finished > 0 {
+			t.removeSawFinished = true
+		}
+	}
+	t.removed = append(t.removed, vs...)
+}
+func (t *mockTarget) PostReap() { t.postReap++ }
 
 // testReaper builds a tick-driven reaper: lease timeout 100, grace 50 (in
 // the test's abstract nanosecond clock).
@@ -75,6 +96,9 @@ func TestReapLifecycle(t *testing.T) {
 	}
 	if len(tgt.removed) != 1 || tgt.removed[0] != Victim(v) {
 		t.Fatalf("removed = %v, want the victim", tgt.removed)
+	}
+	if tgt.removeSawFinished {
+		t.Fatal("registry removal ran after FinishReap: a waking owner could resurrect and be stripped while live")
 	}
 	if tgt.postReap != 1 {
 		t.Fatalf("postReap = %d, want 1", tgt.postReap)
@@ -159,7 +183,7 @@ func TestDepartedVictimPurged(t *testing.T) {
 	}
 }
 
-func TestCleanupDrainsUntilBooksBalance(t *testing.T) {
+func TestCleanupDrainsWhileMakingProgress(t *testing.T) {
 	v := &mockVictim{adoptN: 3}
 	v.lease.Store(10)
 	tgt := &mockTarget{victims: []Victim{v}}
@@ -175,16 +199,88 @@ func TestCleanupDrainsUntilBooksBalance(t *testing.T) {
 	if tgt.postReap != 1 {
 		t.Fatalf("postReap = %d, want 1 after the reap", tgt.postReap)
 	}
-	r.tick(400) // still dirty: PostReap #2
-	r.tick(500) // still dirty: PostReap #3
+	r.tick(400) // dirty: PostReap #2...
+	rec.Unreclaimed.Add(-1)
+	r.tick(500) // ...made progress (3→2): PostReap #3...
+	rec.Unreclaimed.Add(-2)
 	if tgt.postReap != 3 {
-		t.Fatalf("postReap = %d, want 3 while the books are dirty", tgt.postReap)
+		t.Fatalf("postReap = %d, want 3 while the drains make progress", tgt.postReap)
 	}
-	rec.Unreclaimed.Add(-3) // drain succeeded
-	r.tick(600)             // books balanced: cleanup mode off, no PostReap
+	r.tick(600) // books balanced: cleanup mode off, no PostReap
 	r.tick(700)
 	if tgt.postReap != 3 {
 		t.Fatalf("postReap = %d, want 3 after the books balanced", tgt.postReap)
+	}
+}
+
+// TestCleanupStopsWithoutProgress: with live workers continuously
+// retiring, the unreclaimed gauge may never reach zero — a cleanup round
+// that fails to lower it must end cleanup mode instead of forcing
+// flush-and-advance (and neutralization) storms forever.
+func TestCleanupStopsWithoutProgress(t *testing.T) {
+	v := &mockVictim{adoptN: 3}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	rec := &stats.Reclamation{}
+	r := testReaper(tgt, rec)
+
+	rec.Unreclaimed.Add(5) // live workers keep the gauge pinned
+	r.tick(200)
+	r.tick(300) // reap: PostReap #1
+	tgt.victims = nil
+	r.tick(400) // first cleanup round always runs: PostReap #2
+	for now := int64(500); now <= 1000; now += 100 {
+		r.tick(now) // no progress since: cleanup must stay off
+	}
+	if tgt.postReap != 2 {
+		t.Fatalf("postReap = %d, want 2 once the rounds stop making progress", tgt.postReap)
+	}
+}
+
+// TestEmptyVictimParkedNotReaped: an idle-but-registered handle with
+// nothing to adopt must not be churned through reap/resurrect cycles; it
+// is parked after one cancelled confirm and only re-examined when its
+// lease moves.
+func TestEmptyVictimParkedNotReaped(t *testing.T) {
+	v := &mockVictim{empty: true, adoptN: 7}
+	v.lease.Store(10)
+	tgt := &mockTarget{victims: []Victim{v}}
+	rec := &stats.Reclamation{}
+	r := testReaper(tgt, rec)
+
+	r.tick(200) // quarantine
+	r.tick(300) // confirm → empty → cancel + park
+	if v.began != 1 || v.cancelled != 1 {
+		t.Fatalf("began=%d cancelled=%d, want 1/1", v.began, v.cancelled)
+	}
+	if v.adopted != 0 || v.finished != 0 || len(tgt.removed) != 0 {
+		t.Fatal("an empty victim was reaped")
+	}
+	if rec.ReapedHandles.Load() != 0 {
+		t.Fatal("cancelled empty reap was still counted")
+	}
+	// Parked: further ticks must not touch the victim again.
+	r.tick(400)
+	r.tick(500)
+	if v.began != 1 {
+		t.Fatalf("began = %d, want 1 (parked victim re-confirmed)", v.began)
+	}
+	if r.Quarantined() != 1 {
+		t.Fatal("parked victim lost its bookkeeping entry")
+	}
+
+	// The owner wakes and does real work: the lease moves, the park entry
+	// drops, and a later stale period (now with state to adopt) reaps.
+	v.lease.Store(550)
+	v.empty = false
+	r.tick(600) // lease moved: unparked
+	if r.Quarantined() != 0 {
+		t.Fatal("park entry survived a lease movement")
+	}
+	r.tick(700) // stale again: quarantine
+	r.tick(800) // confirm → adopt
+	if v.adopted != 1 || v.finished != 1 {
+		t.Fatalf("adopted=%d finished=%d after the handle became non-empty, want 1/1", v.adopted, v.finished)
 	}
 }
 
