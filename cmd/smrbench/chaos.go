@@ -14,6 +14,7 @@ import (
 var (
 	chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
 	chaosLeak  = flag.Bool("leak", false, "chaos: compose goroutine-death faults into every schedule; HP-BRCU runs the orphan reaper and gates on reap convergence")
+	chaosPanic = flag.Bool("panic", false, "chaos: compose injected panics into every schedule; maps run under PanicRecover and the sweep gates on containment accounting")
 )
 
 // runChaos sweeps the fault-injection schedule corpus over the expedited
@@ -43,9 +44,15 @@ func runChaos() {
 	if *chaosLeak {
 		schedules = chaos.WithLeak(schedules)
 	}
+	if *chaosPanic {
+		schedules = chaos.WithPanic(schedules)
+	}
 	fmt.Printf("Chaos sweep: %d seeds × %d schedules, watchdog on", *chaosSeeds, len(schedules))
 	if *chaosLeak {
 		fmt.Print(", goroutine-death faults + orphan reaper")
+	}
+	if *chaosPanic {
+		fmt.Print(", injected panics + containment")
 	}
 	fmt.Println()
 
@@ -53,12 +60,15 @@ func runChaos() {
 	if *chaosLeak {
 		header = append(header, "leaked", "reaped")
 	}
+	if *chaosPanic {
+		header = append(header, "panics")
+	}
 	var rows []row
 	var failures []string
 	for _, scheme := range sel {
 		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
 			for _, sched := range schedules {
-				var fired, escalations, broadcasts, leaked, reaped uint64
+				var fired, escalations, broadcasts, leaked, reaped, panics uint64
 				survived := 0
 				for seed := 1; seed <= *chaosSeeds; seed++ {
 					res := chaos.Run(chaos.Scenario{
@@ -70,6 +80,7 @@ func runChaos() {
 					broadcasts += uint64(res.Stats.Broadcasts)
 					leaked += res.Leaked
 					reaped += uint64(res.Stats.ReapedHandles)
+					panics += uint64(res.Stats.PanicsRecovered)
 					if res.Survived() {
 						survived++
 					} else {
@@ -98,6 +109,9 @@ func runChaos() {
 				}
 				if *chaosLeak {
 					r = append(r, strconv.FormatUint(leaked, 10), strconv.FormatUint(reaped, 10))
+				}
+				if *chaosPanic {
+					r = append(r, strconv.FormatUint(panics, 10))
 				}
 				rows = append(rows, r)
 			}

@@ -43,7 +43,7 @@ func TestParseExps(t *testing.T) {
 	}{
 		{"8", []int{8}, false},
 		{"8,13,15", []int{8, 13, 15}, false},
-		{"1", []int{1}, false},  // lower edge
+		{"1", []int{1}, false},   // lower edge
 		{"30", []int{30}, false}, // upper edge
 		// The satellite bug: exponents outside [1,30] used to flow into
 		// 1<<n and overflow (or produce a degenerate range).

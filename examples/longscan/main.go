@@ -15,13 +15,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
 )
 
 var (
@@ -31,16 +34,25 @@ var (
 
 func main() {
 	flag.Parse()
+	// Demo plumbing, not API usage: on a single-CPU host the goroutines
+	// only interleave at ~10ms scheduler slices, which hides both the
+	// neutralization behaviour and the cancellation latency this example
+	// demonstrates. Same knob the in-repo benchmark harness uses.
+	if runtime.GOMAXPROCS(0) == 1 {
+		atomicx.YieldPeriod = 16
+	}
 	for _, scheme := range []hpbrcu.Scheme{hpbrcu.NBR, hpbrcu.HPBRCU} {
-		scans, writes, peak := run(scheme)
-		fmt.Printf("%-8s completed scans: %6d   writer ops: %8d   peak unreclaimed: %d\n",
-			scheme, scans, writes, peak)
+		scans, writes, peak, exitLat := run(scheme)
+		fmt.Printf("%-8s completed scans: %6d   writer ops: %8d   peak unreclaimed: %d   reader exit after cancel: %v\n",
+			scheme, scans, writes, peak, exitLat)
 	}
 	fmt.Println("\nNBR's scans collapse as the scan length crosses its broadcast period;")
 	fmt.Println("HP-BRCU's checkpointed scans keep completing with bounded memory.")
+	fmt.Println("On cancel, HP-BRCU self-neutralizes the in-flight scan at its next")
+	fmt.Println("checkpoint; a scheme without cancellation finishes the scan first.")
 }
 
-func run(scheme hpbrcu.Scheme) (scans, writes, peak int64) {
+func run(scheme hpbrcu.Scheme) (scans, writes, peak int64, exitLat time.Duration) {
 	m, err := hpbrcu.NewHHSList(scheme, hpbrcu.Config{})
 	if err != nil {
 		panic(err)
@@ -55,16 +67,25 @@ func run(scheme hpbrcu.Scheme) (scans, writes, peak int64) {
 
 	var stop atomic.Bool
 	var nScans, nWrites atomic.Int64
-	var wg sync.WaitGroup
+	var wg, readerWG sync.WaitGroup
 
-	// One long-scan reader: every Get traverses ~half the list.
-	wg.Add(1)
+	// One long-scan reader: every Get traverses ~half the list. It runs
+	// under a context; cancelling it self-neutralizes the in-flight scan
+	// at its next checkpoint under HP-BRCU (the scan rolls back and the
+	// reader exits within ~BackupPeriod steps), while schemes without
+	// cooperative cancellation only observe the context between scans.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	readerWG.Add(1)
 	go func() {
-		defer wg.Done()
+		defer readerWG.Done()
 		h := m.Register()
 		defer h.Unregister()
-		for !stop.Load() {
-			h.Get(*keyRange) // absent key past the maximum: full scan
+		for {
+			// Absent key past the maximum: full scan.
+			if _, _, err := hpbrcu.GetCtx(ctx, h, *keyRange); err != nil {
+				return
+			}
 			nScans.Add(1)
 		}
 	}()
@@ -80,12 +101,30 @@ func run(scheme hpbrcu.Scheme) (scans, writes, peak int64) {
 				h.Insert(k, k)
 				h.Remove(k)
 				nWrites.Add(2)
+				// Yield per pair so reader and writer steps interleave
+				// finely even on a single CPU (the reader side yields via
+				// atomicx.YieldPeriod).
+				runtime.Gosched()
 			}
 		}(int64(-1 - w))
 	}
 
 	time.Sleep(time.Duration(*seconds) * time.Second)
+	// Quiesce the writers first: under NBR the churn restarts the reader's
+	// full-range scan indefinitely, so an in-flight scan might never finish
+	// and the reader could only observe the cancel between scans. With the
+	// churn stopped the comparison is clean — both schemes are mid-scan
+	// when the cancel lands; HP-BRCU self-neutralizes and exits at its next
+	// poll, NBR must run the scan to completion first.
 	stop.Store(true)
 	wg.Wait()
-	return nScans.Load(), nWrites.Load(), m.Stats().Unreclaimed.Peak()
+	cancelAt := time.Now()
+	cancel()
+	readerWG.Wait()
+	exitLat = time.Since(cancelAt)
+	scans, writes, peak = nScans.Load(), nWrites.Load(), m.Stats().Unreclaimed.Peak()
+	if err := hpbrcu.Close(m, 5*time.Second); err != nil {
+		panic(err)
+	}
+	return scans, writes, peak, exitLat
 }

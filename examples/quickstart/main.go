@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
 )
@@ -58,12 +59,12 @@ func main() {
 	}
 	wg.Wait()
 
-	// A final barrier from a fresh handle collects stragglers.
-	h := m.Register()
-	for i := 0; i < 4; i++ {
-		h.Barrier()
+	// Unified shutdown: Close stops admitting operations, drains every
+	// straggler batch, and stops the domain's service goroutines. A nil
+	// error certifies the books balanced.
+	if err := hpbrcu.Close(m, 5*time.Second); err != nil {
+		panic(err)
 	}
-	h.Unregister()
 
 	s := m.Stats().Snapshot()
 	fmt.Printf("scheme:            %s\n", m.Scheme())
@@ -76,4 +77,5 @@ func main() {
 	if s.Unreclaimed != 0 {
 		fmt.Println("WARNING: reclamation did not drain")
 	}
+	fmt.Println("closed cleanly")
 }

@@ -31,6 +31,7 @@
 package brcu
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -122,6 +123,10 @@ type Domain struct {
 	// population tracks registered handles and their peak, so the §5
 	// bound can be evaluated after the fact with the N actually observed.
 	population stats.Gauge
+
+	// nextID hands out sequential handle ids, carried into misuse panics
+	// and post-mortem traces.
+	nextID atomic.Uint64
 
 	// Lease machinery (internal/reap, DESIGN.md §9). clock is the coarse
 	// activity clock the reaper publishes each tick; handles copy it into
@@ -234,9 +239,20 @@ type Handle struct {
 	_     atomicx.PadAfter
 
 	d       *Domain
+	id      uint64
 	batch   []alloc.Retired
 	pushCnt int
 	exec    func(alloc.Retired)
+
+	// Cooperative cancellation (core.TraverseCtx). The owner arms a fresh
+	// token per cancellable operation; a watcher goroutine requests
+	// cancellation by presenting the token it saw armed. Tokens make a
+	// late watcher from a finished operation harmless: its RequestCancel
+	// misses the newly armed token, and at worst its SelfNeutralize costs
+	// one spurious rollback. armSeq is owner-goroutine-only.
+	cancelArm atomic.Uint64
+	cancelReq atomic.Uint64
+	armSeq    uint64
 
 	// gen counts resurrections (owner-goroutine-only): a reaped handle
 	// whose owner turns out to be alive re-registers and bumps gen, so
@@ -258,7 +274,7 @@ type Handle struct {
 // Register adds a thread to the domain with the default executor (free the
 // node and update statistics).
 func (d *Domain) Register() *Handle {
-	h := &Handle{d: d}
+	h := &Handle{d: d, id: d.nextID.Add(1)}
 	h.exec = func(r alloc.Retired) {
 		r.Pool.FreeSlot(r.Slot)
 		d.rec.Reclaimed.Inc()
@@ -299,6 +315,39 @@ func (h *Handle) StampLease() {
 	if h.d.leaseOn {
 		h.lease.Store(h.d.clock.Load())
 	}
+}
+
+// ID returns the handle's sequential id within its domain.
+func (h *Handle) ID() uint64 { return h.id }
+
+func phaseName(ph uint64) string {
+	switch ph {
+	case phaseOut:
+		return "Out"
+	case phaseInCs:
+		return "InCs"
+	case phaseInRm:
+		return "InRm"
+	case phaseRbReq:
+		return "RbReq"
+	case phaseQuarantined:
+		return "Quarantined"
+	case phaseReaping:
+		return "Reaping"
+	case phaseReaped:
+		return "Reaped"
+	case phaseInMut:
+		return "InMut"
+	}
+	return "phase?"
+}
+
+// Describe formats the handle's identity and live status — id,
+// resurrection generation, phase, announced epoch — so misuse panics and
+// the panic-containment layer produce actionable post-mortems.
+func (h *Handle) Describe() string {
+	ph, e := unpack(h.status.Load())
+	return fmt.Sprintf("handle#%d gen=%d phase=%s epoch=%d", h.id, h.gen, phaseName(ph), e)
 }
 
 // Gen returns the handle's resurrection generation. It changes only
@@ -377,7 +426,7 @@ func (h *Handle) BeginMut() bool {
 		return false
 	}
 	if ph == phaseInCs {
-		panic("brcu: BeginMut inside an unmasked critical section")
+		panic("brcu: BeginMut inside an unmasked critical section (" + h.Describe() + ")")
 	}
 	// End the lease staleness up front so the reaper stops re-arming
 	// quarantines while we spin below.
@@ -523,7 +572,7 @@ func (d *Domain) RemoveAll(hs []*Handle) {
 // balanced no matter how a reap interleaves.
 func (h *Handle) Unregister() {
 	if ph, _ := unpack(h.status.Load()); ph == phaseInCs || ph == phaseInRm {
-		panic("brcu: unregister inside a critical section")
+		panic("brcu: unregister inside a critical section (" + h.Describe() + ")")
 	}
 	// Hold InMut across the flush and the registry removal: a reap can
 	// then only land entirely before this point (resolved by BeginMut via
@@ -699,13 +748,13 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 			// before any masked write; Enter resolves the phase.
 			return false, true
 		}
-		panic("brcu: Mask outside a critical section")
+		panic("brcu: Mask outside a critical section (" + h.Describe() + ")")
 	}
 	if !h.status.CompareAndSwap(st, pack(phaseInRm, e)) {
 		// Lost to a neutralizer: roll back before any masked write.
 		return false, true
 	}
-	body()
+	h.runMasked(body, e)
 	if fault.On {
 		fault.Fire(fault.SiteMaskExit)
 		if fault.Fire(fault.SiteMaskAbort) {
@@ -721,6 +770,118 @@ func (h *Handle) Mask(body func()) (ran, mustRollback bool) {
 		return true, true
 	}
 	return true, false
+}
+
+// runMasked runs the masked body behind a recover barrier. A panic that
+// escapes it (user code, or SitePanic standing in for one) unwinds the
+// region before continuing to the outer barrier in core.Traverse: restore
+// InRm→InCs so the abort path sees the section in its normal state — a
+// lost CAS means a neutralization landed mid-region and the standing
+// RbReq is already what the abort path expects.
+func (h *Handle) runMasked(body func(), e uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.status.CompareAndSwap(pack(phaseInRm, e), pack(phaseInCs, e))
+			panic(r)
+		}
+	}()
+	if fault.On && fault.Fire(fault.SitePanic) {
+		// Inside the region but before any masked write: aborting here
+		// leaks nothing.
+		panic(fault.ErrInjectedPanic)
+	}
+	body()
+}
+
+// ForceOut drives the handle out of whatever phase a panic left it in,
+// restoring the Out state the next operation expects. Owner-side only —
+// it is the recover barrier's stand-in for the Exit (or Enter-and-settle)
+// the unwound control flow never performed. Reaper-transient phases are
+// resolved exactly as Enter would: a quarantine is cancelled, an
+// in-flight adoption waited out, a reaped handle resurrected.
+func (h *Handle) ForceOut() {
+	for {
+		if h.settle() == phaseReaped {
+			h.resurrect()
+			return
+		}
+		st := h.status.Load()
+		ph, _ := unpack(st)
+		if ph >= phaseQuarantined {
+			continue // the reaper moved again; settle once more
+		}
+		if ph == phaseOut {
+			return
+		}
+		// InCs, InRm, RbReq or InMut: abandon the section or mutation span.
+		if h.status.CompareAndSwap(st, pack(phaseOut, 0)) {
+			if h.d.leaseOn {
+				h.lease.Store(h.d.clock.Load())
+			}
+			return
+		}
+	}
+}
+
+// --- Cooperative cancellation (core.TraverseCtx) -----------------------
+
+// ArmCancel installs a fresh cancellation token for the operation about
+// to run and returns it. Owner-side; pair with DisarmCancel.
+func (h *Handle) ArmCancel() uint64 {
+	h.armSeq++
+	tok := h.armSeq
+	h.cancelReq.Store(0)
+	h.cancelArm.Store(tok)
+	return tok
+}
+
+// DisarmCancel retires the current token after the operation returns.
+// A watcher racing with it can at worst leave a stale cancelReq behind,
+// which no future token ever matches.
+func (h *Handle) DisarmCancel() {
+	h.cancelArm.Store(0)
+	h.cancelReq.Store(0)
+}
+
+// RequestCancel asks the owner to abandon the operation that armed tok.
+// Watcher-side (any goroutine). If the token is still armed it plants the
+// request and self-neutralizes the owner's live critical section, so the
+// owner reaches its next cancel check within one poll interval instead of
+// finishing the traversal first.
+func (h *Handle) RequestCancel(tok uint64) {
+	if tok == 0 || h.cancelArm.Load() != tok {
+		return
+	}
+	h.cancelReq.Store(tok)
+	h.SelfNeutralize()
+}
+
+// CancelPending reports whether RequestCancel has fired for tok.
+// Owner-side, checked at rollback boundaries.
+func (h *Handle) CancelPending(tok uint64) bool {
+	return tok != 0 && h.cancelReq.Load() == tok
+}
+
+// FlushLocal pushes the local defer batch to the global task set without
+// forcing an epoch advance. The recover barrier calls it after restoring
+// a panicked handle: the batch holds only fully committed retirements, so
+// flushing it means an owner that abandons the handle after the panic
+// leaves nothing behind that the next drain cannot reach.
+func (h *Handle) FlushLocal() {
+	claimed := h.BeginMut()
+	h.flush()
+	if claimed {
+		h.EndMut()
+	}
+}
+
+// TraceEvent records an event on this handle's obs trace (no-op unless
+// the observability layer is active; nil-safe). The lifecycle layer in
+// internal/core uses it for panic, cancel and close events.
+func (h *Handle) TraceEvent(k obs.EventKind, arg int64) {
+	if obs.On {
+		h.trace.Rec(k, arg)
+	}
 }
 
 // Defer schedules a task for execution after all current critical sections
@@ -746,7 +907,7 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	// it. Catch the misuse that would otherwise corrupt the task
 	// registry on a rollback.
 	if ph, _ := unpack(h.status.Load()); ph == phaseInCs {
-		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1)")
+		panic("brcu: Defer inside an unmasked critical section (rollback-unsafe, §4.1; " + h.Describe() + ")")
 	}
 	// Hold the un-reapable InMut phase across the batch mutation: a
 	// quarantine can then only land before or after it, never while the

@@ -16,6 +16,7 @@
 package brcu
 
 import (
+	"sync"
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/obs"
@@ -65,8 +66,9 @@ type Watchdog struct {
 	h         *Handle
 	ownHandle bool
 
-	stop chan struct{}
-	done chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
 }
 
 // StartWatchdog launches the domain's monitor goroutine. Stop it with
@@ -95,13 +97,18 @@ func (d *Domain) StartWatchdog(cfg WatchdogConfig) *Watchdog {
 
 // Stop terminates the monitor and waits for it to exit. A handle the
 // watchdog registered itself is unregistered; a caller-provided one is
-// left to its owner. Stop is idempotent-unsafe: call it exactly once.
+// left to its owner. Stop is idempotent and safe to call concurrently;
+// every caller returns only after the goroutine has exited.
 func (w *Watchdog) Stop() {
-	close(w.stop)
-	<-w.done
-	if w.ownHandle {
-		w.h.Unregister()
-	}
+	// Once.Do blocks concurrent callers until the first finishes, so every
+	// Stop returns only after the full teardown has happened exactly once.
+	w.stopOnce.Do(func() {
+		close(w.stop)
+		<-w.done
+		if w.ownHandle {
+			w.h.Unregister()
+		}
+	})
 }
 
 // bound is the §5 bound with the observed peak N and the caller-supplied H.

@@ -27,6 +27,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -110,6 +111,24 @@ func WithLeak(scheds []Schedule) []Schedule {
 		out[i] = s
 		out[i].Name = s.Name + "+leak"
 		out[i].Plans[fault.SiteLeak] = Plan{Period: 1500}
+	}
+	return out
+}
+
+// WithPanic returns a copy of scheds with an injected-panic plan composed
+// into each schedule (and "+panic" appended to its name): roughly every
+// 600th arrival at the panic site throws fault.ErrInjectedPanic out of
+// user code inside a critical section — mid-traversal or inside a masked
+// region. Run switches the map to PanicRecover so the containment layer
+// converts every throw into a latched handle error, and asserts that the
+// books still balance and that recoveries account one-for-one for the
+// injected panics.
+func WithPanic(scheds []Schedule) []Schedule {
+	out := make([]Schedule, len(scheds))
+	for i, s := range scheds {
+		out[i] = s
+		out[i].Name = s.Name + "+panic"
+		out[i].Plans[fault.SitePanic] = Plan{Period: 600, Cooldown: 32}
 	}
 	return out
 }
@@ -226,6 +245,12 @@ func Run(sc Scenario) Result {
 	if sc.Watchdog && sc.Scheme == hpbrcu.HPBRCU {
 		cfg.Watchdog = true
 	}
+	if sc.Schedule.Plans[fault.SitePanic].Period > 0 {
+		// Injected panics must come back as latched errors, not crash the
+		// workers: chaos validates the containment path, and MapHandle
+		// methods have no error results to surface them through.
+		cfg.PanicPolicy = hpbrcu.PanicRecover
+	}
 	reaperOn := sc.Reaper && sc.Scheme == hpbrcu.HPBRCU
 	if reaperOn {
 		// Aggressive timings so leaked handles are reaped within the run,
@@ -333,6 +358,12 @@ func Run(sc Scenario) Result {
 				viol.addf("bound: peak unreclaimed %d exceeds §5 bound %d", snap.PeakUnreclaimed, b)
 			}
 		}
+		// Containment accounting: every injected panic must have been
+		// recovered exactly once (the recover barrier runs on each throw,
+		// and nothing else panics in a surviving run).
+		if fired := inj.Fired(fault.SitePanic); fired > 0 && snap.PanicsRecovered != int64(fired) {
+			viol.addf("panics: %d injected but %d recovered", fired, snap.PanicsRecovered)
+		}
 	}
 	res.Stats = m.Stats().Snapshot()
 	res.Violations = viol.list
@@ -353,6 +384,25 @@ func drain(m hpbrcu.Map) {
 		h.Barrier()
 	}
 	h.Unregister()
+}
+
+// containedPanic consumes the lifecycle error an operation may have
+// latched on the handle. A containment of the injected panic is expected
+// chaos — SitePanic fires strictly before any mutation, so the operation
+// did not apply and the worker's model must not advance. Anything else
+// (a poisoned handle, a foreign panic value, ErrClosed mid-run) is a
+// violation. It reports (skip the model check, stop the worker).
+func containedPanic(h hpbrcu.MapHandle, viol *violations, w int) (skip, fatal bool) {
+	err := hpbrcu.TakeHandleErr(h)
+	if err == nil {
+		return false, false
+	}
+	var pe *hpbrcu.PanicError
+	if errors.As(err, &pe) && !pe.Poisoned && pe.Value == fault.ErrInjectedPanic {
+		return true, false
+	}
+	viol.addf("worker %d: unexpected handle error: %v", w, err)
+	return true, true
 }
 
 // runWorker replays worker w's deterministic operation stream against the
@@ -409,13 +459,26 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations, leaks *atomic
 		switch r % 100 {
 		case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9: // foreign read
 			fk := int64(next() % uint64(sc.KeyRange))
-			if v, ok := h.Get(fk); ok && v != valueOf(fk) {
+			v, ok := h.Get(fk)
+			if skip, fatal := containedPanic(h, viol, w); skip {
+				if fatal {
+					return
+				}
+				continue
+			}
+			if ok && v != valueOf(fk) {
 				viol.addf("worker %d: Get(%d) = %d, canonical value is %d", w, fk, v, valueOf(fk))
 				return
 			}
 		case 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
 			20, 21, 22, 23, 24, 25, 26, 27, 28, 29: // own read
 			v, ok := h.Get(k)
+			if skip, fatal := containedPanic(h, viol, w); skip {
+				if fatal {
+					return
+				}
+				continue
+			}
 			if ok != present[k] || (ok && v != valueOf(k)) {
 				viol.addf("worker %d op %d: Get(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
 				return
@@ -423,6 +486,12 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations, leaks *atomic
 		default:
 			if r&(1<<40) == 0 { // insert
 				ok := h.Insert(k, valueOf(k))
+				if skip, fatal := containedPanic(h, viol, w); skip {
+					if fatal {
+						return
+					}
+					continue
+				}
 				if ok == present[k] {
 					viol.addf("worker %d op %d: Insert(%d) = %v, model has present=%v", w, i, k, ok, present[k])
 					return
@@ -430,6 +499,12 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations, leaks *atomic
 				present[k] = true
 			} else { // remove
 				v, ok := h.Remove(k)
+				if skip, fatal := containedPanic(h, viol, w); skip {
+					if fatal {
+						return
+					}
+					continue
+				}
 				if ok != present[k] || (ok && v != valueOf(k)) {
 					viol.addf("worker %d op %d: Remove(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
 					return

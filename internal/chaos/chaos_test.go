@@ -42,6 +42,41 @@ func TestRunSurvivesAcceptanceGrid(t *testing.T) {
 	}
 }
 
+// TestRunSurvivesPanicSchedules: with injected panics composed into the
+// corpus, every run must still survive — the containment layer converts
+// each throw into a latched handle error, the operation does not apply,
+// and the recovery accounting matches the injection count one-for-one
+// (Run asserts it).
+func TestRunSurvivesPanicSchedules(t *testing.T) {
+	seeds := []uint64{1, 2}
+	scheds := WithPanic(Schedules)
+	if testing.Short() {
+		seeds = seeds[:1]
+		scheds = scheds[:2]
+	}
+	for _, scheme := range []hpbrcu.Scheme{hpbrcu.HPRCU, hpbrcu.HPBRCU} {
+		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
+			var recovered int64
+			for _, sched := range scheds {
+				for _, seed := range seeds {
+					res := Run(Scenario{
+						Structure: st, Scheme: scheme, Seed: seed,
+						Schedule: sched, Workers: 3, Ops: 400, KeyRange: 64,
+						Watchdog: true,
+					})
+					if !res.Survived() {
+						t.Fatalf("%s/%s/%s seed %d: %v", scheme, st, sched.Name, seed, res.Violations)
+					}
+					recovered += res.Stats.PanicsRecovered
+				}
+			}
+			if recovered == 0 {
+				t.Errorf("%s/%s: panic corpus never fired a containment", scheme, st)
+			}
+		}
+	}
+}
+
 // TestRunBoundReported: an HP-BRCU run reports a positive observed bound
 // and a peak under it.
 func TestRunBoundReported(t *testing.T) {

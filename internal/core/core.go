@@ -20,6 +20,8 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/alloc"
@@ -58,6 +60,9 @@ type Config struct {
 	ForceThreshold int
 	// ScanThreshold is HP's retire batch size (default 128).
 	ScanThreshold int
+	// PanicPolicy selects what the recover barrier does with panics that
+	// escape user code inside critical sections (default PanicRethrow).
+	PanicPolicy PanicPolicy
 }
 
 // Domain owns one HP-(B)RCU instance: an HP domain plus an RCU or BRCU
@@ -78,6 +83,12 @@ type Domain struct {
 	// bp is the tiered-backpressure evaluator; nil until
 	// EnableBackpressure (and always nil for RCU-backed domains).
 	bp *reap.Backpressure
+
+	// policy is the panic policy every handle's recover barrier applies.
+	policy PanicPolicy
+	// closed is set by MarkClosed; the public map layer refuses new
+	// operations once it is (see lifecycle.go).
+	closed atomic.Bool
 }
 
 // NewDomain creates a domain for the given backend. A zero Config selects
@@ -89,6 +100,7 @@ func NewDomain(backend Backend, cfg Config) *Domain {
 		backupPeriod: cfg.BackupPeriod,
 		rec:          rec,
 		HP:           hp.NewDomain(rec, hp.WithScanThreshold(cfg.ScanThreshold)),
+		policy:       cfg.PanicPolicy,
 	}
 	if d.backupPeriod <= 0 {
 		d.backupPeriod = DefaultBackupPeriod
@@ -159,8 +171,9 @@ func (d *Domain) Backpressure() *reap.Backpressure { return d.bp }
 // Watchdog is a running self-healing monitor on a BRCU-backed domain; see
 // StartWatchdog.
 type Watchdog struct {
-	w *brcu.Watchdog
-	h *Handle
+	w    *brcu.Watchdog
+	h    *Handle
+	once sync.Once
 }
 
 // StartWatchdog launches the BRCU watchdog (see internal/brcu) wired
@@ -183,11 +196,14 @@ func (d *Domain) StartWatchdog(interval time.Duration, fraction float64) *Watchd
 	return &Watchdog{w: w, h: h}
 }
 
-// Stop terminates the watchdog and releases its handle. Call exactly once,
-// before tearing the domain down.
+// Stop terminates the watchdog and releases its handle. Idempotent and
+// safe to call concurrently (Once.Do blocks losers until the winner has
+// finished the teardown).
 func (w *Watchdog) Stop() {
-	w.w.Stop()
-	w.h.Unregister()
+	w.once.Do(func() {
+		w.w.Stop()
+		w.h.Unregister()
+	})
 }
 
 // Handle is one thread's participation record across both halves of the
@@ -202,6 +218,11 @@ type Handle struct {
 	// must never quarantine: they are long-lived and mostly idle, so
 	// their leases go stale by design.
 	exempt bool
+
+	// poisoned records the contained panic whose restore failed; a
+	// non-nil value makes every subsequent operation refuse the handle
+	// (see lifecycle.go). Owner-goroutine-only.
+	poisoned *PanicError
 }
 
 // Register adds a thread to the domain and wires the two-step retirement

@@ -6,6 +6,7 @@ package core
 // See internal/reap for the protocol and DESIGN.md §9 for the argument.
 
 import (
+	"sync"
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/brcu"
@@ -44,8 +45,9 @@ type ReaperConfig struct {
 // Reaper is a running lease reaper on a BRCU-backed domain; see
 // StartReaper.
 type Reaper struct {
-	r *reap.Reaper
-	h *Handle
+	r    *reap.Reaper
+	h    *Handle
+	once sync.Once
 }
 
 // StartReaper enables lease stamping on the domain and launches the
@@ -70,11 +72,14 @@ func (d *Domain) StartReaper(cfg ReaperConfig) *Reaper {
 	return &Reaper{r: r, h: h}
 }
 
-// Stop terminates the reaper and releases its handle. Call exactly once,
-// before tearing the domain down.
+// Stop terminates the reaper and releases its handle. Idempotent and
+// safe to call concurrently (Once.Do blocks losers until the winner has
+// finished the teardown).
 func (r *Reaper) Stop() {
-	r.r.Stop()
-	r.h.Unregister()
+	r.once.Do(func() {
+		r.r.Stop()
+		r.h.Unregister()
+	})
 }
 
 // --- reap.Victim on *Handle -------------------------------------------

@@ -60,6 +60,16 @@ func (h *Handle) BeginPhases() Phases { return Phases{h: h} }
 // its last complete checkpoint before the next Section.
 func (p Phases) Section(body func() StepStatus) StepStatus {
 	h := p.h
+	h.checkUsable()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped the phase body: restore the handle through
+			// the abort path and re-raise per the panic policy. There are
+			// no engine-owned protectors to clear here — the body manages
+			// its own shields and overwrites them on the next phase.
+			h.contain(r, "Section", nil)
+		}
+	}()
 	if h.brcu != nil {
 		h.brcu.Enter()
 		st := body()

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+
 	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
 // This file implements the Traverse API (Algorithm 7): the expedited
@@ -63,15 +66,92 @@ type Traversal[C, R any] struct {
 // after a neutralization that lands in the middle of checkpointing. On a
 // successful return the final cursor's protection is (also) in prot.
 func Traverse[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool) {
+	h.checkUsable()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaped user code (Init/Validate/Step or a masked
+			// body): drive the handle through the normal abort path and
+			// re-raise per the panic policy. contain never returns.
+			h.contain(r, "Traverse", func() {
+				clearProtection(prot)
+				clearProtection(backup)
+			})
+		}
+	}()
 	if h.brcu != nil {
-		return traverseBRCU(h, prot, backup, t)
+		c, r, ok, _ := traverseBRCU(h, prot, backup, t, 0)
+		return c, r, ok
 	}
-	return traverseRCU(h, prot, backup, t)
+	c, r, ok, _ := traverseRCU(nil, h, prot, backup, t)
+	return c, r, ok
+}
+
+// TraverseCtx is Traverse with cooperative cancellation: when ctx is
+// done, the operation's own critical section is self-neutralized — the
+// paper's signal mechanism repurposed as a request-timeout primitive —
+// and TraverseCtx returns the context's error with the cursor rolled
+// back (the shields still hold the last complete validated checkpoint,
+// but no result is produced and no shared state was committed by the
+// abandoned attempt). An already-done context returns immediately
+// without touching any shared state. Under HP-RCU there is no
+// neutralization, so cancellation is observed only at phase boundaries
+// (at most BackupPeriod steps late).
+func TraverseCtx[C, R any](ctx context.Context, h *Handle, prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool, err error) {
+	var (
+		zeroC C
+		zeroR R
+	)
+	if err := ctx.Err(); err != nil {
+		return zeroC, zeroR, false, err
+	}
+	h.checkUsable()
+	defer func() {
+		if r := recover(); r != nil {
+			h.contain(r, "TraverseCtx", func() {
+				clearProtection(prot)
+				clearProtection(backup)
+			})
+		}
+	}()
+	var cancelled bool
+	if h.brcu != nil {
+		tok := h.brcu.ArmCancel()
+		stop := context.AfterFunc(ctx, func() { h.brcu.RequestCancel(tok) })
+		// Deferred (not inline) so a contained panic also stops the
+		// watcher and disarms; this defer runs before the contain one.
+		defer func() {
+			stop()
+			h.brcu.DisarmCancel()
+		}()
+		cursor, result, ok, cancelled = traverseBRCU(h, prot, backup, t, tok)
+	} else {
+		cursor, result, ok, cancelled = traverseRCU(ctx, h, prot, backup, t)
+	}
+	if cancelled {
+		h.d.rec.CancelledOps.Inc()
+		if h.brcu != nil {
+			h.brcu.TraceEvent(obs.EvCancel, 0)
+		}
+		err := ctx.Err()
+		if err == nil {
+			// The watcher fired on a context whose Err momentarily reads
+			// nil only in pathological custom implementations; report the
+			// conventional value.
+			err = context.Canceled
+		}
+		return zeroC, zeroR, false, err
+	}
+	return cursor, result, ok, nil
 }
 
 // traverseBRCU is Algorithm 7: one (conceptual) critical section per
-// rollback, double-buffered checkpoints, per-step polling.
-func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool) {
+// rollback, double-buffered checkpoints, per-step polling. A nonzero tok
+// is a cancellation token (TraverseCtx): the cancel request is checked
+// at the rollback boundary — after RequestCancel's self-neutralization
+// forced the section out, before the next Enter — so a cancelled
+// traversal is abandoned in exactly the state a neutralized one resumes
+// from. The fourth result reports cancellation.
+func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R], tok uint64) (C, R, bool, bool) {
 	var (
 		prots   = [2]Protector[C]{backup, prot}
 		curs    [2]C
@@ -84,6 +164,14 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 	)
 
 	for {
+		if h.brcu.CancelPending(tok) {
+			// Our watcher self-neutralized the section (or we are about
+			// to start one the caller no longer wants). Exit clears the
+			// stale RbReq; the cursor stays rolled back at the last
+			// complete checkpoint, still protected by its buffer.
+			h.brcu.Exit()
+			return zeroC, zeroR, false, true
+		}
 		h.brcu.Enter()
 
 		if g := h.brcu.Gen(); g != gen {
@@ -126,17 +214,26 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 		c := curs[compIdx%2]
 		if !fresh && !t.Validate(&c) {
 			h.brcu.Exit()
-			return zeroC, zeroR, false
+			return zeroC, zeroR, false, false
 		}
 
 		rolledBack := false
 		yc := 0
 		for i := 1; ; i++ {
 			atomicx.StepYield(&yc)
-			if fault.On && fault.Fire(fault.SiteStepRollback) {
-				// Forced rollback at an arbitrary traversal step: plant
-				// the request ourselves; the poll below observes it.
-				h.brcu.SelfNeutralize()
+			if fault.On {
+				if fault.Fire(fault.SiteStepRollback) {
+					// Forced rollback at an arbitrary traversal step:
+					// plant the request ourselves; the poll below
+					// observes it.
+					h.brcu.SelfNeutralize()
+				}
+				if fault.Fire(fault.SitePanic) {
+					// A panic standing in for one in t.Step's user code,
+					// before any mutation: the recover barrier in
+					// Traverse contains it.
+					panic(fault.ErrInjectedPanic)
+				}
 			}
 			if !h.brcu.Poll() {
 				rolledBack = true
@@ -149,7 +246,7 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 			}
 			if kind == StepFail {
 				h.brcu.Exit()
-				return zeroC, zeroR, false
+				return zeroC, zeroR, false, false
 			}
 			if kind == StepFinish || i%period == 0 {
 				// A periodic checkpoint is only useful if the cursor
@@ -185,7 +282,7 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 					if prots[compIdx%2] != Protector[C](prot) {
 						prot.Protect(&c)
 					}
-					return c, r, true
+					return c, r, true, false
 				}
 				// Catch up with the global epoch so this traversal
 				// stops blocking reclamation; failure means we were
@@ -207,8 +304,10 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 // traverseRCU is the RCU-expedited traversal of §3 (Algorithm 3 lifted to
 // the Traverse shape): explicit alternation between bounded RCU phases and
 // HP checkpoints. There are no aborts, so a single protector suffices; the
-// backup buffer is unused.
-func traverseRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool) {
+// backup buffer is unused. A non-nil ctx is checked at phase boundaries
+// (RCU has no neutralization to deliver cancellation mid-phase); the
+// fourth result reports cancellation.
+func traverseRCU[C, R any](ctx context.Context, h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool, bool) {
 	var (
 		zeroC  C
 		zeroR  R
@@ -223,17 +322,26 @@ func traverseRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, 
 	yc := 0
 	for i := 1; ; i++ {
 		atomicx.StepYield(&yc)
+		if fault.On && fault.Fire(fault.SitePanic) {
+			// A panic standing in for one in t.Step's user code; the
+			// recover barrier in Traverse contains it.
+			panic(fault.ErrInjectedPanic)
+		}
 		kind, r := t.Step(&c)
 		if kind == StepFail {
 			h.rcu.Unpin()
-			return zeroC, zeroR, false
+			return zeroC, zeroR, false, false
 		}
 		if kind == StepFinish {
 			prot.Protect(&c)
 			h.rcu.Unpin()
-			return c, r, true
+			return c, r, true, false
 		}
 		if i%period == 0 {
+			if ctx != nil && ctx.Err() != nil {
+				h.rcu.Unpin()
+				return zeroC, zeroR, false, true
+			}
 			// End of this RCU phase (Algorithm 3's Steps boundary):
 			// checkpoint the cursor, re-enter a fresh critical
 			// section, and revalidate the source (§3.3, R1). If the
@@ -248,7 +356,7 @@ func traverseRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, 
 			h.rcu.Repin()
 			if !t.Validate(&c) {
 				h.rcu.Unpin()
-				return zeroC, zeroR, false
+				return zeroC, zeroR, false, false
 			}
 		}
 	}

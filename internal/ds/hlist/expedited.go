@@ -1,6 +1,7 @@
 package hlist
 
 import (
+	"context"
 	"runtime"
 
 	"github.com/smrgo/hpbrcu/internal/alloc"
@@ -66,12 +67,22 @@ func (p *protector) Protect(c *cursor) {
 	p.curS.Protect(c.cur)
 }
 
+// ClearProtection releases both shields (core.ProtectionClearer); the
+// recover barrier calls it when a panic abandons a traversal.
+func (p *protector) ClearProtection() {
+	p.prevS.Clear()
+	p.curS.Clear()
+}
+
 // getCursor is the read-only optimistic traversal cursor (HHS get).
 type getCursor struct{ cur atomicx.Ref }
 
 type getProtector struct{ curS *hp.Shield }
 
 func (p *getProtector) Protect(c *getCursor) { p.curS.Protect(c.cur) }
+
+// ClearProtection releases the shield (core.ProtectionClearer).
+func (p *getProtector) ClearProtection() { p.curS.Clear() }
 
 // ExpeditedHandle is one thread's accessor.
 type ExpeditedHandle struct {
@@ -182,13 +193,11 @@ func (h *ExpeditedHandle) Get(key int64) (int64, bool) {
 	}
 }
 
-// GetOptimistic is the HHSList wait-free-style contains lifted onto the
-// Traverse engine: a pure read traversal through marked nodes. Under
-// HP-BRCU it is only lock-free (rollbacks may retry it), matching the
-// paper's footnote 9.
-func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
+// getTraversal builds the optimistic read traversal GetOptimistic and
+// GetCtx run (and the cancellation regression test instruments).
+func (h *ExpeditedHandle) getTraversal(key int64) core.Traversal[getCursor, bool] {
 	l := h.l.List
-	t := core.Traversal[getCursor, bool]{
+	return core.Traversal[getCursor, bool]{
 		Init: func() getCursor {
 			return getCursor{cur: l.Pool.At(l.Head).Next.Load().Untagged()}
 		},
@@ -208,6 +217,15 @@ func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
 			return core.StepContinue, false
 		},
 	}
+}
+
+// GetOptimistic is the HHSList wait-free-style contains lifted onto the
+// Traverse engine: a pure read traversal through marked nodes. Under
+// HP-BRCU it is only lock-free (rollbacks may retry it), matching the
+// paper's footnote 9.
+func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
+	l := h.l.List
+	t := h.getTraversal(key)
 	for attempt := 0; ; attempt++ {
 		c, found, ok := core.Traverse(h.h, h.getProt, h.getBackup, t)
 		if !ok {
@@ -222,6 +240,34 @@ func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
 		return l.At(c.cur).Val.Load(), true
 	}
 }
+
+// GetCtx is GetOptimistic with cooperative cancellation: ctx.Done()
+// self-neutralizes the traversal at its next poll point and GetCtx
+// returns the context's error. Validation failures still retry — only
+// cancellation breaks the loop.
+func (h *ExpeditedHandle) GetCtx(ctx context.Context, key int64) (int64, bool, error) {
+	l := h.l.List
+	t := h.getTraversal(key)
+	for attempt := 0; ; attempt++ {
+		c, found, ok, err := core.TraverseCtx(ctx, h.h, h.getProt, h.getBackup, t)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			if attempt > 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !found {
+			return 0, false, nil
+		}
+		return l.At(c.cur).Val.Load(), true, nil
+	}
+}
+
+// BarrierCtx is Barrier with cooperative cancellation between rounds.
+func (h *ExpeditedHandle) BarrierCtx(ctx context.Context) error { return h.h.BarrierCtx(ctx) }
 
 // Insert maps key to val; it fails if key is already present.
 func (h *ExpeditedHandle) Insert(key, val int64) bool {

@@ -60,6 +60,13 @@ func (p *protector) Protect(c *cursor) {
 	p.curS.Protect(c.cur)
 }
 
+// ClearProtection releases both shields (core.ProtectionClearer); the
+// recover barrier calls it when a panic abandons a traversal.
+func (p *protector) ClearProtection() {
+	p.prevS.Clear()
+	p.curS.Clear()
+}
+
 // ExpeditedHandle is one thread's accessor.
 type ExpeditedHandle struct {
 	l     *Expedited

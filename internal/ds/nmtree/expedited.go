@@ -67,6 +67,15 @@ func (p *treeProtector) Protect(c *seekCursor) {
 	p.leafS.ProtectSlot(c.sr.leaf)
 }
 
+// ClearProtection releases every shield (core.ProtectionClearer); the
+// recover barrier calls it when a panic abandons a traversal.
+func (p *treeProtector) ClearProtection() {
+	p.ancS.Clear()
+	p.sucS.Clear()
+	p.parS.Clear()
+	p.leafS.Clear()
+}
+
 // ExpeditedHandle is one thread's accessor.
 type ExpeditedHandle struct {
 	l     *Expedited

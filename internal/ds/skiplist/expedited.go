@@ -96,6 +96,17 @@ func (p *protector) Protect(c *cursor) {
 	}
 }
 
+// ClearProtection releases every shield (core.ProtectionClearer); the
+// recover barrier calls it when a panic abandons a traversal.
+func (p *protector) ClearProtection() {
+	p.predS.Clear()
+	p.curS.Clear()
+	for i := 0; i < MaxHeight; i++ {
+		p.predsS[i].Clear()
+		p.succsS[i].Clear()
+	}
+}
+
 // getCursor is the read-only optimistic traversal cursor.
 type getCursor struct {
 	level int
@@ -108,6 +119,12 @@ type getProtector struct{ predS, curS *hp.Shield }
 func (p *getProtector) Protect(c *getCursor) {
 	p.predS.ProtectSlot(c.pred)
 	p.curS.Protect(c.cur)
+}
+
+// ClearProtection releases both shields (core.ProtectionClearer).
+func (p *getProtector) ClearProtection() {
+	p.predS.Clear()
+	p.curS.Clear()
 }
 
 // ExpeditedHandle is one thread's accessor.

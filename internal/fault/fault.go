@@ -36,9 +36,15 @@
 package fault
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 )
+
+// ErrInjectedPanic is the value SitePanic call sites panic with. The chaos
+// harness recognizes it to tell an injected panic (expected, op aborted)
+// from a genuine bug escaping user code (an invariant violation).
+var ErrInjectedPanic = errors.New("fault: injected panic")
 
 // Site identifies one injection point. The inventory (DESIGN.md §7):
 type Site uint8
@@ -87,6 +93,12 @@ const (
 	// the lease reaper (internal/reap) exists to recover. Fired by the
 	// chaos harness between operations, not from library hot paths.
 	SiteLeak
+	// SitePanic panics with ErrInjectedPanic from inside a critical
+	// section — at a traversal step in core.Traverse and just inside an
+	// abort-masked region in brcu.Handle.Mask, in both cases before any
+	// shared-memory mutation — exercising the recover barrier's abort
+	// path. The caller panics; this package only decides.
+	SitePanic
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -95,7 +107,7 @@ const (
 var siteNames = [NumSites]string{
 	"poll", "shield", "mask-enter", "mask-exit", "mask-abort",
 	"step-rollback", "advance-storm", "drain-skip",
-	"alloc-stall", "alloc-exhaust", "free-stall", "leak",
+	"alloc-stall", "alloc-exhaust", "free-stall", "leak", "panic",
 }
 
 // String returns the site's name.

@@ -97,6 +97,16 @@ const (
 	// EvReject: allocations were refused with ErrMemoryPressure; Arg is
 	// the number of rejections since the last tick.
 	EvReject
+	// EvPanic: a panic in user code was contained by the recover barrier
+	// and the handle driven through the abort path; Arg is 1 if the
+	// handle could not be restored and was poisoned, 0 otherwise.
+	EvPanic
+	// EvCancel: a context cancellation self-neutralized the handle's
+	// critical section and the operation returned early; Arg is 0.
+	EvCancel
+	// EvClose: the domain began its unified shutdown drain; Arg is the
+	// unreclaimed count at that moment.
+	EvClose
 
 	numEventKinds
 )
@@ -105,6 +115,7 @@ var eventNames = [numEventKinds]string{
 	"epoch-advance", "forced-advance", "signal", "rollback", "mask-defer",
 	"watchdog-escalate", "broadcast", "drain", "reclaim", "slab-grow",
 	"lease-expire", "quarantine", "adopt", "reap", "throttle", "reject",
+	"panic-recover", "cancel", "close",
 }
 
 // String returns the event kind's name.

@@ -161,8 +161,9 @@ type Reaper struct {
 	lastThrottles int64
 	lastRejects   int64
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // Start launches the reaper goroutine. Stop it with Stop before tearing
@@ -203,9 +204,11 @@ func newReaper(tgt Target, cfg Config) *Reaper {
 	return r
 }
 
-// Stop terminates the reaper and waits for it to exit. Call exactly once.
+// Stop terminates the reaper and waits for it to exit. Idempotent and
+// safe to call concurrently; every caller returns only after the
+// goroutine has exited.
 func (r *Reaper) Stop() {
-	close(r.stop)
+	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
 }
 

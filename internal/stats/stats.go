@@ -119,6 +119,14 @@ type Reclamation struct {
 	// BackpressureRejects counts allocations refused with
 	// ErrMemoryPressure because unreclaimed garbage reached the ceiling.
 	BackpressureRejects Counter
+	// PanicsRecovered counts panics that escaped user code inside a
+	// critical section and were contained by the recover barrier: the
+	// handle was driven through the normal abort path (or poisoned) and
+	// the panic re-raised or converted per the panic policy.
+	PanicsRecovered Counter
+	// CancelledOps counts operations abandoned by cooperative
+	// cancellation (TraverseCtx/BarrierCtx observing a done context).
+	CancelledOps Counter
 
 	// The histograms below record only while the observability layer
 	// (internal/obs) is enabled; see the Histogram doc comment.
@@ -157,6 +165,8 @@ type Snapshot struct {
 	AdoptedNodes          int64
 	BackpressureThrottles int64
 	BackpressureRejects   int64
+	PanicsRecovered       int64
+	CancelledOps          int64
 
 	// Histogram digests; all-zero unless the observability layer was
 	// enabled during the run. Summaries are scalar-only, so Snapshot
@@ -185,11 +195,13 @@ func (r *Reclamation) Snapshot() Snapshot {
 		AdoptedNodes:          r.AdoptedNodes.Load(),
 		BackpressureThrottles: r.BackpressureThrottles.Load(),
 		BackpressureRejects:   r.BackpressureRejects.Load(),
+		PanicsRecovered:       r.PanicsRecovered.Load(),
+		CancelledOps:          r.CancelledOps.Load(),
 
-		PollLag: r.PollLag.Summary(),
-		CSNanos:             r.CSNanos.Summary(),
-		GraceNanos:          r.GraceNanos.Summary(),
-		ReclaimAgeNanos:     r.ReclaimAgeNanos.Summary(),
+		PollLag:         r.PollLag.Summary(),
+		CSNanos:         r.CSNanos.Summary(),
+		GraceNanos:      r.GraceNanos.Summary(),
+		ReclaimAgeNanos: r.ReclaimAgeNanos.Summary(),
 	}
 }
 
@@ -208,6 +220,8 @@ func (r *Reclamation) Reset() {
 	r.AdoptedNodes.Reset()
 	r.BackpressureThrottles.Reset()
 	r.BackpressureRejects.Reset()
+	r.PanicsRecovered.Reset()
+	r.CancelledOps.Reset()
 	r.PollLag.Reset()
 	r.CSNanos.Reset()
 	r.GraceNanos.Reset()

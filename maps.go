@@ -1,6 +1,9 @@
 package hpbrcu
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"github.com/smrgo/hpbrcu/internal/core"
 	"github.com/smrgo/hpbrcu/internal/ds/hashmap"
 	"github.com/smrgo/hpbrcu/internal/ds/hlist"
@@ -24,14 +27,25 @@ type mapImpl struct {
 	wd     *core.Watchdog     // non-nil when Config.Watchdog started one
 	rp     *core.Reaper       // non-nil when Config.Reaper started one
 	bp     *reap.Backpressure // non-nil when Config.Backpressure enabled
+	rec    bool               // Config.PanicPolicy == PanicRecover
+
+	closed    atomic.Bool // Close has begun: stop admitting operations
+	closeOnce sync.Once
+	closeErr  error
 }
 
 func (m *mapImpl) Register() MapHandle {
+	if m.closed.Load() {
+		// Post-Close registration returns an inert stub: every operation
+		// latches and reports ErrClosed, Unregister is a no-op. Returning
+		// a handle (rather than nil) keeps worker loops panic-free.
+		return &guardedHandle{m: m, err: ErrClosed}
+	}
 	h := m.reg()
 	if m.bp != nil {
-		return pressureHandle{MapHandle: h, bp: m.bp}
+		h = pressureHandle{MapHandle: h, bp: m.bp}
 	}
-	return h
+	return &guardedHandle{m: m, inner: h, base: unwrapBase(h)}
 }
 func (m *mapImpl) Stats() *Stats  { return m.st() }
 func (m *mapImpl) Scheme() Scheme { return m.scheme }
@@ -59,6 +73,7 @@ func (h pressureHandle) TryInsert(key, val int64) (bool, error) {
 // plain-bool activation contract.
 func (m *mapImpl) withDomain(d *core.Domain, cfg Config) *mapImpl {
 	m.dom = d
+	m.rec = cfg.PanicPolicy == PanicRecover
 	if cfg.Backpressure.Enabled {
 		m.bp = d.EnableBackpressure(cfg.coreBackpressureConfig())
 	}
@@ -277,22 +292,26 @@ func GarbageBoundObserved(m Map) int64 {
 
 // StopWatchdog stops the self-healing watchdog started by
 // Config.Watchdog, waiting for its monitor goroutine to exit. It is a
-// no-op for maps without one. Call exactly once, after the map's last
-// handle has unregistered or will no longer retire nodes.
+// no-op for maps without one; idempotent and safe alongside Close.
+//
+// Deprecated: Close stops the watchdog as part of the unified shutdown;
+// prefer it unless you need to stop the watchdog early while keeping the
+// map open.
 func StopWatchdog(m Map) {
 	if impl, ok := m.(*mapImpl); ok && impl.wd != nil {
 		impl.wd.Stop()
-		impl.wd = nil
 	}
 }
 
 // StopReaper stops the lease reaper started by Config.Reaper, waiting for
-// its goroutine to exit. It is a no-op for maps without one. Call exactly
-// once, after the map's workers have stopped (leaked goroutines excepted
-// — reaping them first is the point).
+// its goroutine to exit. It is a no-op for maps without one; idempotent
+// and safe alongside Close.
+//
+// Deprecated: Close stops the reaper as part of the unified shutdown
+// (after the drain, so it can keep adopting orphaned garbage); prefer it
+// unless you need to stop the reaper early while keeping the map open.
 func StopReaper(m Map) {
 	if impl, ok := m.(*mapImpl); ok && impl.rp != nil {
 		impl.rp.Stop()
-		impl.rp = nil
 	}
 }

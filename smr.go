@@ -141,6 +141,12 @@ type Config struct {
 	// emergency drains, then allocation throttling, then fail-fast
 	// ErrMemoryPressure from TryInsert. Ignored for every other scheme.
 	Backpressure BackpressureConfig
+	// PanicPolicy selects what HP-RCU/HP-BRCU maps do with a panic that
+	// escapes user code inside a critical section, after the recovery
+	// barrier has restored the handle through the abort path: PanicRethrow
+	// (default) re-raises it, PanicRecover latches it on the handle as a
+	// *PanicError and keeps going. Ignored for every other scheme.
+	PanicPolicy PanicPolicy
 }
 
 // ReaperConfig configures the lease reaper (Config.Reaper). The zero
@@ -213,6 +219,7 @@ func (c Config) CoreConfig() core.Config {
 		MaxLocalTasks:  c.BatchSize,
 		ForceThreshold: c.ForceThreshold,
 		ScanThreshold:  c.BatchSize,
+		PanicPolicy:    c.PanicPolicy,
 	}
 }
 
