@@ -1,0 +1,145 @@
+package main
+
+// The `smrbench bench` subcommand: the benchmark-regression pipeline.
+// It re-runs the fig1 / fig5 / table2 workloads at fixed seeds, writes
+// machine-readable BENCH_<experiment>.json reports, and — in comparison
+// mode — gates against committed baselines:
+//
+//	smrbench bench                             # write BENCH_*.json to .
+//	smrbench bench -duration 100ms -out /tmp   # quick smoke, elsewhere
+//	smrbench bench -baseline BENCH_fig1.json,BENCH_table2.json
+//
+// Comparison mode exits nonzero on a >tolerance throughput regression
+// (default 15%) against the baseline, on shrunk point coverage, or on any
+// §5 memory-bound violation in the fresh run. A tolerance ≥ 1 skips the
+// throughput check — the CI cross-machine mode — while the bound and
+// coverage checks always apply. See DESIGN.md §11 for how to read and
+// regenerate the committed files.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/obs"
+)
+
+// benchRunners maps experiment names to their pipeline entry points.
+var benchRunners = map[string]func(bench.PipelineConfig) *bench.BenchFile{
+	"fig1":   bench.BenchFig1,
+	"fig5":   bench.BenchFig5,
+	"table2": bench.BenchTable2,
+}
+
+// benchOrder fixes the run order (map iteration would shuffle it).
+var benchOrder = []string{"fig1", "fig5", "table2"}
+
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	dur := fs.Duration("duration", *duration, "measurement time per point")
+	seed := fs.Uint64("seed", bench.DefaultBenchSeed, "workload seed (fixed seeds make schedules reproducible)")
+	outDir := fs.String("out", ".", "directory to write BENCH_<experiment>.json into")
+	baselines := fs.String("baseline", "", "comma-separated baseline BENCH_*.json files; compare instead of overwriting, exit nonzero on regression")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional throughput drop vs baseline; >=1 skips throughput checks (cross-machine CI) but memory bounds still gate")
+	experiments := fs.String("experiments", "", "comma-separated subset of fig1,fig5,table2 (default: all, or the baselines' experiments)")
+	schemeList := fs.String("schemes", "", "comma-separated scheme filter (committed baselines use the full set)")
+	fs.Parse(args)
+
+	cfg := bench.PipelineConfig{Seed: *seed, Duration: *dur}
+	if *schemeList != "" {
+		sel, err := parseSchemes(*schemeList)
+		if err != nil {
+			fatalArg(err)
+		}
+		cfg.Schemes = sel
+	}
+
+	// The critical-section histograms record only while the obs layer is
+	// on; activate it before any workload goroutine starts so P99CSNanos
+	// is populated. (The committed baselines are measured the same way,
+	// so the instrumentation overhead cancels out of every comparison.)
+	if !obs.On {
+		obs.Activate(obs.NewCollector(obs.DefaultRingSize))
+	}
+
+	base := make(map[string]*bench.BenchFile) // experiment → baseline
+	if *baselines != "" {
+		for _, path := range strings.Split(*baselines, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			f, err := bench.ReadReport(path)
+			if err != nil {
+				fatalArg(fmt.Errorf("bench: %w", err))
+			}
+			if _, ok := benchRunners[f.Experiment]; !ok {
+				fatalArg(fmt.Errorf("bench: %s names unknown experiment %q", path, f.Experiment))
+			}
+			if _, dup := base[f.Experiment]; dup {
+				fatalArg(fmt.Errorf("bench: duplicate baseline for experiment %q (%s)", f.Experiment, path))
+			}
+			base[f.Experiment] = f
+		}
+	}
+
+	selected := make(map[string]bool)
+	switch {
+	case *experiments != "":
+		for _, name := range strings.Split(*experiments, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := benchRunners[name]; !ok {
+				fatalArg(fmt.Errorf("bench: unknown experiment %q (want fig1, fig5 or table2)", name))
+			}
+			selected[name] = true
+		}
+	case len(base) > 0:
+		for name := range base {
+			selected[name] = true
+		}
+	default:
+		for name := range benchRunners {
+			selected[name] = true
+		}
+	}
+
+	failed := false
+	for _, name := range benchOrder {
+		if !selected[name] {
+			continue
+		}
+		t0 := time.Now()
+		cur := benchRunners[name](cfg)
+		fmt.Fprintf(os.Stderr, "bench: %s: %d points in %v\n",
+			name, len(cur.Points), time.Since(t0).Truncate(time.Millisecond))
+
+		if b, ok := base[name]; ok {
+			problems := bench.Compare(b, cur, *tolerance)
+			if len(problems) == 0 {
+				fmt.Printf("bench %s: OK (%d points within tolerance %.0f%%, bounds hold)\n",
+					name, len(cur.Points), *tolerance*100)
+				continue
+			}
+			failed = true
+			fmt.Printf("bench %s: FAIL\n", name)
+			for _, p := range problems {
+				fmt.Printf("  %s\n", p)
+			}
+			continue
+		}
+
+		path := filepath.Join(*outDir, "BENCH_"+name+".json")
+		if err := bench.WriteReport(path, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench %s: wrote %s (%d points)\n", name, path, len(cur.Points))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -17,6 +17,10 @@
 //	           -leak-rate kills a fraction of writers without Unregister and
 //	           -reaper runs the lease-based orphan reaper against the leaks
 //	ablation   design-choice sweeps (BackupPeriod, ForceThreshold, BatchSize)
+//	bench      benchmark-regression pipeline: fixed-seed fig1/fig5/table2 runs
+//	           written to BENCH_*.json; `bench -baseline <files>` re-runs and
+//	           exits nonzero on a throughput regression or §5 bound violation
+//	           (flags after `bench` are its own; see benchcmd.go)
 //	chaos      fault-injection sweep: seeds × schedules × schemes × lists,
 //	           watchdog on; exits nonzero on any invariant violation. -leak
 //	           composes goroutine-death faults into every schedule and turns
@@ -54,11 +58,13 @@ var (
 func main() {
 	flag.Parse()
 	startObservability()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: smrbench [flags] fig1|fig5|fig6|fig7|appendixB|table1|table2|ablation|chaos")
+	if flag.NArg() < 1 || (flag.NArg() > 1 && flag.Arg(0) != "bench") {
+		fmt.Fprintln(os.Stderr, "usage: smrbench [flags] fig1|fig5|fig6|fig7|appendixB|table1|table2|ablation|chaos|bench [bench flags]")
 		os.Exit(2)
 	}
 	switch flag.Arg(0) {
+	case "bench":
+		runBench(flag.Args()[1:])
 	case "fig1":
 		runLongScan("Figure 1: long-running read operations (length = key range / 2)", defaultExps(8, 13))
 	case "fig5":

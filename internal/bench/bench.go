@@ -125,6 +125,10 @@ type Result struct {
 	Retired         int64
 	Signals         int64
 	Rollbacks       int64
+	// CSP99 is the 99th-percentile critical-section length in nanoseconds.
+	// Populated only while the obs layer is active (the histograms record
+	// behind obs.On); 0 for schemes without instrumented sections.
+	CSP99 int64
 }
 
 // Throughput returns operations per second.
@@ -224,7 +228,7 @@ func RunMixed(cfg MixedConfig) Result {
 			labelWorker(cfg.Structure, cfg.Scheme, "mixed")
 			h := m.Register()
 			defer h.Unregister()
-			rng := atomicx.NewRand(cfg.Seed*1_000_003 + id)
+			rng := atomicx.NewRand(mixedWorkerSeed(cfg.Seed, id))
 			<-start
 			ops := int64(0)
 			for !stop.Load() {
@@ -263,5 +267,49 @@ func RunMixed(cfg MixedConfig) Result {
 		Retired:         s.Retired,
 		Signals:         s.Signals,
 		Rollbacks:       s.Rollbacks,
+		CSP99:           s.CSNanos.P99,
 	}
+}
+
+// mixedWorkerSeed derives worker id's rng seed from the run seed. Shared
+// with ScheduleFingerprint so the fingerprint provably hashes the same
+// stream the worker draws.
+func mixedWorkerSeed(seed, id uint64) uint64 { return seed*1_000_003 + id }
+
+// ScheduleFingerprint hashes the first n (operation, key) pairs worker id
+// would draw under cfg — the workload schedule, independent of timing.
+// Two runs with equal seeds fingerprint identically, which is what makes
+// the committed BENCH_*.json baselines comparable run-over-run: a
+// throughput delta is the code's, not the workload's.
+func ScheduleFingerprint(cfg MixedConfig, id uint64, n int) uint64 {
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultBenchSeed
+	}
+	rng := atomicx.NewRand(mixedWorkerSeed(cfg.Seed, id))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := rng.Intn(cfg.KeyRange)
+		p := rng.Next() % 100
+		op := uint64(2) // remove
+		switch {
+		case int(p) < cfg.Mix.ReadPct:
+			op = 0
+		case int(p) < cfg.Mix.ReadPct+cfg.Mix.InsPct:
+			op = 1
+		}
+		mix(uint64(k))
+		mix(op)
+	}
+	return h
 }

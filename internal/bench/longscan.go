@@ -138,6 +138,7 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 			Retired:         s.Retired,
 			Signals:         s.Signals,
 			Rollbacks:       s.Rollbacks,
+			CSP99:           s.CSNanos.P99,
 		},
 		ReadOps:  readOps.Load(),
 		WriteOps: writeOps.Load(),

@@ -1,0 +1,142 @@
+package bench
+
+// The benchmark-regression pipeline behind `smrbench bench`: fixed-seed
+// renditions of the paper's fig1 / fig5 / table2 workloads that produce
+// BenchFile reports instead of console tables. Thread counts are pinned
+// (not scaled to GOMAXPROCS) so the committed BENCH_*.json stay
+// point-compatible across machines — Compare checks coverage by
+// (workload, scheme) key.
+
+import (
+	"fmt"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+// PipelineConfig configures one BenchFig*/BenchTable* pipeline run.
+type PipelineConfig struct {
+	// Seed is the workload seed (DefaultBenchSeed when zero).
+	Seed uint64
+	// Duration is the measurement time per point.
+	Duration time.Duration
+	// Schemes restricts the scheme sweep; nil runs hpbrcu.Schemes.
+	Schemes []hpbrcu.Scheme
+}
+
+func (c *PipelineConfig) normalize() {
+	if c.Seed == 0 {
+		c.Seed = DefaultBenchSeed
+	}
+	if c.Duration <= 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Schemes == nil {
+		c.Schemes = hpbrcu.Schemes
+	}
+}
+
+func (c *PipelineConfig) file(experiment string) *BenchFile {
+	return &BenchFile{
+		Experiment:  experiment,
+		Schema:      ReportSchema,
+		Seed:        c.Seed,
+		DurationMS:  c.Duration.Milliseconds(),
+		Environment: CurrentEnvironment(),
+	}
+}
+
+// fig1Exps are the key-range exponents of the fig1 sweep (list length is
+// KeyRange/2, so these span ~128–4096-element traversals).
+var fig1Exps = []int{8, 9, 10, 11, 12, 13}
+
+// BenchFig1 measures the long-running-operation workload (Figure 1):
+// reader throughput and peak unreclaimed blocks per key range, with two
+// readers against two head-churning writers. OpsPerSec is reads/s — the
+// paper's y-axis.
+func BenchFig1(cfg PipelineConfig) *BenchFile {
+	cfg.normalize()
+	f := cfg.file("fig1")
+	for _, e := range fig1Exps {
+		workload := fmt.Sprintf("keys=2^%02d", e)
+		for _, s := range cfg.Schemes {
+			res := RunLongScan(LongScanConfig{
+				Structure: LongScanStructureFor(s), Scheme: s,
+				Readers: 2, Writers: 2,
+				KeyRange: 1 << e, Duration: cfg.Duration, Seed: cfg.Seed,
+			})
+			f.Points = append(f.Points, BenchPoint{
+				Workload:        workload,
+				Scheme:          s.String(),
+				OpsPerSec:       res.ReadThroughput(),
+				PeakUnreclaimed: res.PeakUnreclaimed,
+				P99CSNanos:      res.CSP99,
+				Bound:           -1,
+			})
+		}
+	}
+	return f
+}
+
+// fig5Parts mirrors cmd/smrbench's fig5: read-only sweeps over the two
+// Figure 5 structures at their (scaled) key ranges, at a pinned thread
+// count of four.
+var fig5Parts = []struct {
+	st       Structure
+	keyRange int64
+}{
+	{HHSList, 1000},
+	{HashMap, 10000},
+}
+
+// BenchFig5 measures the read-only mixed workload (Figure 5) for every
+// supported scheme. OpsPerSec is total ops/s.
+func BenchFig5(cfg PipelineConfig) *BenchFile {
+	cfg.normalize()
+	f := cfg.file("fig5")
+	for _, part := range fig5Parts {
+		workload := fmt.Sprintf("%s/keys=%d/threads=4", part.st, part.keyRange)
+		for _, s := range cfg.Schemes {
+			if !Supported(part.st, s) {
+				continue
+			}
+			res := RunMixed(MixedConfig{
+				Structure: part.st, Scheme: s, Threads: 4,
+				KeyRange: part.keyRange, Mix: ReadOnly,
+				Duration: cfg.Duration, Seed: cfg.Seed,
+			})
+			f.Points = append(f.Points, BenchPoint{
+				Workload:        workload,
+				Scheme:          s.String(),
+				OpsPerSec:       res.Throughput(),
+				PeakUnreclaimed: res.PeakUnreclaimed,
+				P99CSNanos:      res.CSP99,
+				Bound:           -1,
+			})
+		}
+	}
+	return f
+}
+
+// BenchTable2 measures the stalled-thread robustness experiment (Table 2).
+// OpsPerSec is writer ops/s; Bound carries the observed §5 bound for
+// HP-BRCU (and -1 for unbounded schemes), so Compare turns any
+// peak-over-bound excursion into a hard failure.
+func BenchTable2(cfg PipelineConfig) *BenchFile {
+	cfg.normalize()
+	f := cfg.file("table2")
+	for _, s := range cfg.Schemes {
+		res := RunStalled(StallConfig{
+			Scheme: s, Writers: 2, KeyRange: 256, Duration: cfg.Duration,
+		})
+		f.Points = append(f.Points, BenchPoint{
+			Workload:        "stall/writers=2/keys=256",
+			Scheme:          s.String(),
+			OpsPerSec:       res.WriterThroughput(),
+			PeakUnreclaimed: res.PeakUnreclaimed,
+			P99CSNanos:      res.CSP99,
+			Bound:           res.Bound,
+		})
+	}
+	return f
+}

@@ -1,0 +1,167 @@
+package bench
+
+// Machine-readable benchmark reports: the BENCH_*.json schema written by
+// `smrbench bench`, and the baseline comparator behind its -baseline flag.
+// The committed BENCH_fig1/fig5/table2 files are the repo's performance
+// trajectory — every hot-path change must show its before/after here (see
+// DESIGN.md §11), and the CI bench-smoke job re-runs the workloads against
+// the committed files so they cannot silently rot.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// ReportSchema versions the BENCH_*.json layout; Compare refuses files
+// from a different schema instead of misreading them.
+const ReportSchema = 1
+
+// DefaultBenchSeed seeds the pipeline workloads unless -seed overrides it.
+// Fixed so that two runs of the same binary draw identical operation
+// schedules (see ScheduleFingerprint) and differences are the code's.
+const DefaultBenchSeed = 42
+
+// Environment records where a report was measured. Throughput is only
+// comparable within one environment; the CI comparator widens its
+// tolerance past 1 to skip throughput checks entirely across machines.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentEnvironment captures the running process's environment.
+func CurrentEnvironment() Environment {
+	return Environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// BenchPoint is one (workload, scheme) measurement.
+type BenchPoint struct {
+	// Workload names the point within its experiment (e.g. "keys=2^10").
+	Workload string `json:"workload"`
+	// Scheme is the reclamation scheme's display name (hpbrcu.Scheme).
+	Scheme string `json:"scheme"`
+	// OpsPerSec is the experiment's headline throughput: reads/s for the
+	// long-scan workloads, total ops/s for mixed ones, writer ops/s for
+	// the stall experiment.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// PeakUnreclaimed is the paper's memory metric: the peak number of
+	// retired-but-unreclaimed nodes over the run.
+	PeakUnreclaimed int64 `json:"peak_unreclaimed"`
+	// P99CSNanos is the 99th-percentile critical-section length from the
+	// internal/stats histograms (0 for schemes without instrumented
+	// critical sections).
+	P99CSNanos int64 `json:"p99_cs_ns"`
+	// Bound is the §5 garbage bound 2GN+GN²+H evaluated from observed
+	// peaks, or -1 when the scheme is unbounded or the experiment does
+	// not evaluate it. Compare fails any point with
+	// PeakUnreclaimed > Bound ≥ 0 regardless of tolerance.
+	Bound int64 `json:"bound"`
+}
+
+// BenchFile is one experiment's report — the unit BENCH_*.json stores.
+type BenchFile struct {
+	Experiment  string       `json:"experiment"` // fig1 | fig5 | table2
+	Schema      int          `json:"schema"`
+	Seed        uint64       `json:"seed"`
+	DurationMS  int64        `json:"duration_ms"`
+	Environment Environment  `json:"environment"`
+	Points      []BenchPoint `json:"points"`
+}
+
+// WriteReport writes the report as indented JSON with a stable point
+// order, so regenerated files diff cleanly.
+func WriteReport(path string, f *BenchFile) error {
+	pts := make([]BenchPoint, len(f.Points))
+	copy(pts, f.Points)
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Workload != pts[j].Workload {
+			return pts[i].Workload < pts[j].Workload
+		}
+		return pts[i].Scheme < pts[j].Scheme
+	})
+	out := *f
+	out.Points = pts
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a BENCH_*.json file.
+func ReadReport(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Compare checks current against baseline and returns one message per
+// violation (empty means the gate passes):
+//
+//   - schema or experiment mismatch;
+//   - a baseline point missing from current (coverage must not shrink);
+//   - current throughput below baseline·(1-tolerance) — skipped entirely
+//     when tolerance ≥ 1, the cross-machine mode CI uses, since absolute
+//     ops/s are meaningless between hosts;
+//   - any current point whose PeakUnreclaimed exceeds its §5 bound —
+//     always checked, at every tolerance: the bound is the paper's
+//     robustness claim, not a performance preference.
+func Compare(baseline, current *BenchFile, tolerance float64) []string {
+	var problems []string
+	if baseline.Schema != ReportSchema {
+		problems = append(problems, fmt.Sprintf("baseline schema %d, want %d (regenerate the baseline)", baseline.Schema, ReportSchema))
+		return problems
+	}
+	if current.Schema != ReportSchema {
+		problems = append(problems, fmt.Sprintf("current schema %d, want %d", current.Schema, ReportSchema))
+		return problems
+	}
+	if baseline.Experiment != current.Experiment {
+		problems = append(problems, fmt.Sprintf("experiment mismatch: baseline %q vs current %q", baseline.Experiment, current.Experiment))
+		return problems
+	}
+
+	type key struct{ workload, scheme string }
+	idx := make(map[key]BenchPoint, len(current.Points))
+	for _, p := range current.Points {
+		idx[key{p.Workload, p.Scheme}] = p
+	}
+	for _, b := range baseline.Points {
+		cur, ok := idx[key{b.Workload, b.Scheme}]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: point %s/%s present in baseline but missing from current run",
+				baseline.Experiment, b.Workload, b.Scheme))
+			continue
+		}
+		if tolerance < 1 && b.OpsPerSec > 0 {
+			floor := b.OpsPerSec * (1 - tolerance)
+			if cur.OpsPerSec < floor {
+				problems = append(problems, fmt.Sprintf("%s: %s/%s throughput regressed %.0f → %.0f ops/s (>%.0f%% drop)",
+					baseline.Experiment, b.Workload, b.Scheme, b.OpsPerSec, cur.OpsPerSec, tolerance*100))
+			}
+		}
+	}
+	for _, p := range current.Points {
+		if p.Bound >= 0 && p.PeakUnreclaimed > p.Bound {
+			problems = append(problems, fmt.Sprintf("%s: %s/%s violates the §5 memory bound: peak %d > bound %d",
+				current.Experiment, p.Workload, p.Scheme, p.PeakUnreclaimed, p.Bound))
+		}
+	}
+	return problems
+}

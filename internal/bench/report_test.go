@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+func sampleFile() *BenchFile {
+	return &BenchFile{
+		Experiment:  "fig1",
+		Schema:      ReportSchema,
+		Seed:        DefaultBenchSeed,
+		DurationMS:  300,
+		Environment: CurrentEnvironment(),
+		Points: []BenchPoint{
+			{Workload: "keys=2^08", Scheme: "HP-BRCU", OpsPerSec: 1000, PeakUnreclaimed: 40, P99CSNanos: 1200, Bound: -1},
+			{Workload: "keys=2^08", Scheme: "NR", OpsPerSec: 1500, PeakUnreclaimed: 0, Bound: -1},
+			{Workload: "keys=2^09", Scheme: "HP-BRCU", OpsPerSec: 800, PeakUnreclaimed: 55, P99CSNanos: 2400, Bound: 100},
+		},
+	}
+}
+
+// TestReportRoundTrip checks that the BENCH_*.json schema survives a
+// write/read cycle byte-for-value: what Compare sees later is exactly
+// what the pipeline measured.
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fig1.json")
+	want := sampleFile()
+	if err := WriteReport(path, want); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCompare is the table-driven audit of the regression gate: which
+// crafted deltas it must accept and which it must reject.
+func TestCompare(t *testing.T) {
+	mutate := func(f func(*BenchFile)) *BenchFile {
+		c := sampleFile()
+		f(c)
+		return c
+	}
+	cases := []struct {
+		name      string
+		current   *BenchFile
+		tolerance float64
+		wantFail  string // substring of a problem message; "" = must pass
+	}{
+		{"identical run passes", sampleFile(), 0.15, ""},
+		{"small dip within tolerance passes", mutate(func(c *BenchFile) {
+			c.Points[0].OpsPerSec = 900 // -10% < 15%
+		}), 0.15, ""},
+		{"regression beyond tolerance fails", mutate(func(c *BenchFile) {
+			c.Points[0].OpsPerSec = 500 // -50%
+		}), 0.15, "throughput regressed"},
+		{"tolerance >= 1 skips throughput checks", mutate(func(c *BenchFile) {
+			c.Points[0].OpsPerSec = 1 // collapse, but cross-machine mode
+		}), 2, ""},
+		{"missing point fails coverage", mutate(func(c *BenchFile) {
+			c.Points = c.Points[:2]
+		}), 0.15, "missing from current run"},
+		{"extra point is not a failure", mutate(func(c *BenchFile) {
+			c.Points = append(c.Points, BenchPoint{Workload: "keys=2^10", Scheme: "NR", OpsPerSec: 1, Bound: -1})
+		}), 0.15, ""},
+		{"bound violation fails at any tolerance", mutate(func(c *BenchFile) {
+			c.Points[2].PeakUnreclaimed = 101 // bound is 100
+		}), 2, "violates the §5 memory bound"},
+		{"peak equal to bound passes", mutate(func(c *BenchFile) {
+			c.Points[2].PeakUnreclaimed = 100
+		}), 0.15, ""},
+		{"unbounded scheme never bound-fails", mutate(func(c *BenchFile) {
+			c.Points[0].PeakUnreclaimed = 1 << 40 // Bound -1
+		}), 0.15, ""},
+		{"schema mismatch fails", mutate(func(c *BenchFile) {
+			c.Schema = ReportSchema + 1
+		}), 0.15, "schema"},
+		{"experiment mismatch fails", mutate(func(c *BenchFile) {
+			c.Experiment = "fig5"
+		}), 0.15, "experiment mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := Compare(sampleFile(), tc.current, tc.tolerance)
+			if tc.wantFail == "" {
+				if len(problems) != 0 {
+					t.Fatalf("want pass, got problems: %v", problems)
+				}
+				return
+			}
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.wantFail) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a problem containing %q, got %v", tc.wantFail, problems)
+			}
+		})
+	}
+}
+
+// TestScheduleFingerprintDeterminism pins the property the fixed-seed
+// pipeline rests on: equal seeds draw identical workload schedules, and
+// the schedule actually depends on the seed, the worker and the mix.
+func TestScheduleFingerprintDeterminism(t *testing.T) {
+	base := MixedConfig{KeyRange: 1000, Mix: ReadIntensive, Seed: DefaultBenchSeed}
+	cases := []struct {
+		name string
+		a, b MixedConfig
+		ida  uint64
+		idb  uint64
+		same bool
+	}{
+		{"same seed, same worker", base, base, 0, 0, true},
+		{"zero seed defaults to DefaultBenchSeed",
+			base, MixedConfig{KeyRange: 1000, Mix: ReadIntensive}, 1, 1, true},
+		{"different seeds diverge",
+			base, MixedConfig{KeyRange: 1000, Mix: ReadIntensive, Seed: 43}, 0, 0, false},
+		{"different workers diverge", base, base, 0, 1, false},
+		{"different mixes diverge",
+			base, MixedConfig{KeyRange: 1000, Mix: WriteOnly, Seed: DefaultBenchSeed}, 0, 0, false},
+	}
+	const n = 4096
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fa := ScheduleFingerprint(tc.a, tc.ida, n)
+			fb := ScheduleFingerprint(tc.b, tc.idb, n)
+			if (fa == fb) != tc.same {
+				t.Fatalf("fingerprints %#x vs %#x, want same=%v", fa, fb, tc.same)
+			}
+		})
+	}
+}
+
+// TestPipelineSmoke runs a miniature BenchTable2 end to end: the report
+// is well-formed, every requested scheme produced its point, and the
+// HP-BRCU point carries a §5 bound its own peak respects — so a freshly
+// generated file always passes its own bound gate.
+func TestPipelineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload smoke")
+	}
+	f := BenchTable2(PipelineConfig{
+		Duration: 10 * time.Millisecond,
+		Schemes:  []hpbrcu.Scheme{hpbrcu.NR, hpbrcu.HPBRCU},
+	})
+	if f.Experiment != "table2" || f.Schema != ReportSchema || f.Seed != DefaultBenchSeed {
+		t.Fatalf("malformed header: %+v", f)
+	}
+	if len(f.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(f.Points))
+	}
+	var hpb *BenchPoint
+	for i := range f.Points {
+		if f.Points[i].Scheme == hpbrcu.HPBRCU.String() {
+			hpb = &f.Points[i]
+		}
+	}
+	if hpb == nil {
+		t.Fatal("no HP-BRCU point")
+	}
+	if hpb.Bound < 0 {
+		t.Fatal("HP-BRCU point carries no §5 bound")
+	}
+	if problems := Compare(f, f, 0.15); len(problems) != 0 {
+		t.Fatalf("self-comparison failed: %v", problems)
+	}
+	if hpb.PeakUnreclaimed > hpb.Bound {
+		t.Fatalf("fresh run violates its own bound: peak %d > %d", hpb.PeakUnreclaimed, hpb.Bound)
+	}
+}

@@ -30,6 +30,22 @@ type StallResult struct {
 	// Config.Reaper.Enabled only; 0 otherwise).
 	Reaped      int64
 	Unreclaimed int64
+	// WriterOps counts completed writer operations (the stall experiment's
+	// throughput axis in BENCH_table2.json).
+	WriterOps int64
+	// CSP99 is the 99th-percentile critical-section length in nanoseconds
+	// (recorded only while the obs layer is active).
+	CSP99 int64
+	// Elapsed is the measured churn window (writer start to writer stop).
+	Elapsed time.Duration
+}
+
+// WriterThroughput returns completed writer operations per second.
+func (r StallResult) WriterThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.WriterOps) / r.Elapsed.Seconds()
 }
 
 // StallConfig configures the stalled-thread robustness experiment.
@@ -166,6 +182,7 @@ func RunStalled(cfg StallConfig) StallResult {
 	}
 
 	var stop atomic.Bool
+	var writerOps atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Writers; w++ {
 		wg.Add(1)
@@ -178,19 +195,24 @@ func RunStalled(cfg StallConfig) StallResult {
 				defer h.Unregister()
 			}
 			rng := atomicx.NewRand(uint64(w) + 1)
+			ops := int64(0)
+			defer func() { writerOps.Add(ops) }()
 			for !stop.Load() {
 				k := rng.Intn(cfg.KeyRange)
 				h.Insert(k, k)
 				h.Remove(k)
+				ops += 2
 				if leak && rng.Intn(1024) == 0 {
 					return // goroutine death: handle abandoned mid-churn
 				}
 			}
 		}(w)
 	}
+	t0 := time.Now()
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	elapsed := time.Since(t0)
 	unstall()
 
 	if reaperStop != nil {
@@ -218,5 +240,8 @@ func RunStalled(cfg StallConfig) StallResult {
 		Signals:         s.Signals,
 		Reaped:          s.ReapedHandles,
 		Unreclaimed:     s.Unreclaimed,
+		WriterOps:       writerOps.Load(),
+		CSP99:           s.CSNanos.P99,
+		Elapsed:         elapsed,
 	}
 }

@@ -95,6 +95,10 @@ const (
 	DefaultForceThreshold = 2
 )
 
+// initialBatchCap seeds the geometric growth of per-handle defer batches;
+// see Handle.batchCap.
+const initialBatchCap = 16
+
 type taggedBatch struct {
 	epoch uint64
 	// flushed is the obs timestamp of the flush (0 with observability
@@ -106,8 +110,30 @@ type taggedBatch struct {
 // Domain is one BRCU domain (global epoch, task registry, participant
 // list — Algorithm 5 lines 4-7).
 type Domain struct {
-	epoch atomic.Uint64
-	_     atomicx.PadAfter
+	epoch atomicx.Padded
+
+	// cleared is the epoch-advance watermark: every advance from an epoch
+	// below it has had a complete registry scan that found no blocking
+	// critical section (laggards were absent or already neutralized). A
+	// thread advancing from epoch eg with cleared > eg skips the scan
+	// entirely — some thread already walked the whole registry for this
+	// advance, and re-walking it could only re-observe handles known to be
+	// ahead. Raised by max-CAS after a complete scan, never lowered, so
+	// cleared ≤ epoch+1 at all times.
+	//
+	// Why the skip is safe: the baseline never made scan-and-advance
+	// atomic — a thread could complete its scan, be descheduled
+	// arbitrarily long, and only then CAS the epoch. Advancing on a
+	// cached clean scan is exactly that interleaving with the scan and
+	// the CAS performed by different threads. The one state that can
+	// appear between the scan and the advance — a handle announcing
+	// InCs(e<eg) from an epoch load delayed across advances — is harmless
+	// for the same reason it is in the baseline: the announce store
+	// happens after every batch tagged ≤ eg-1 was flushed (those flushes
+	// read epoch < eg, so they completed before the epoch reached eg),
+	// hence after those nodes were unlinked, so the late section can no
+	// longer reach them. See DESIGN.md §11.
+	cleared atomicx.Padded
 
 	handles registry.Registry[Handle]
 	rec     *stats.Reclamation
@@ -134,8 +160,7 @@ type Domain struct {
 	// leaseOn gates those stores and follows the fault.On contract: set
 	// once by EnableLeases before any worker goroutine touches a handle,
 	// plain loads thereafter.
-	clock   atomic.Int64
-	_       atomicx.PadAfter
+	clock   atomicx.PaddedInt64
 	leaseOn bool
 
 	tasksMu sync.Mutex
@@ -229,20 +254,48 @@ func (d *Domain) PublishClock(now int64) { d.clock.Store(now) }
 // Not safe for concurrent use by multiple goroutines; the status word is
 // read and CASed by reclaimers.
 type Handle struct {
-	status atomic.Uint64 // packed {phase, epoch}
-	_      atomicx.PadAfter
+	// status is the packed {phase, epoch} word — the single most
+	// contended word in the scheme (stored by the owner at every
+	// Enter/Exit, read and CASed by every advancing reclaimer), so it
+	// owns its cache line.
+	status atomicx.Padded
 
 	// lease is the last observed domain clock (UnixNano). The owner's
 	// stores double as the release edge that publishes its batch
 	// mutations to the reaper; see StampLease and Lease.
-	lease atomic.Int64
-	_     atomicx.PadAfter
+	lease atomicx.PaddedInt64
 
 	d       *Domain
 	id      uint64
 	batch   []alloc.Retired
 	pushCnt int
 	exec    func(alloc.Retired)
+
+	// flushAt is the batch-size watermark that triggers flushAndAdvance
+	// (the domain's maxLocalTasks, copied here at registration so the
+	// per-Defer check reads a handle-local word instead of chasing the
+	// shared Domain). batchCap is the capacity of the next batch
+	// allocation: flush hands the whole backing array to the global task
+	// set, and the replacement grows geometrically (16, 32, … up to
+	// maxLocalTasks) so rarely-retiring handles stay small while busy
+	// ones converge to one full-size allocation and zero copies per
+	// flush. Both owner-goroutine-only.
+	flushAt  int
+	batchCap int
+
+	// Epoch-advance resume cursor (owner-goroutine-only). A failed
+	// advance from scanEpoch parks its registry snapshot and position
+	// here; the next attempt from the same epoch resumes mid-snapshot
+	// instead of rescanning handles already observed non-blocking.
+	// Resuming a stale snapshot is safe: handles registered after it was
+	// taken announce epochs ≥ scanEpoch (the global epoch has not moved)
+	// and so can never block this advance, and handles removed from the
+	// registry sit in Out/Reaped, which the scan skips. scanForced
+	// accumulates whether any resumed leg sent a signal.
+	scanSnap   []*Handle
+	scanPos    int
+	scanEpoch  uint64
+	scanForced bool
 
 	// Cooperative cancellation (core.TraverseCtx). The owner arms a fresh
 	// token per cancellable operation; a watcher goroutine requests
@@ -274,7 +327,11 @@ type Handle struct {
 // Register adds a thread to the domain with the default executor (free the
 // node and update statistics).
 func (d *Domain) Register() *Handle {
-	h := &Handle{d: d, id: d.nextID.Add(1)}
+	h := &Handle{d: d, id: d.nextID.Add(1), flushAt: d.maxLocalTasks}
+	h.batchCap = initialBatchCap
+	if h.batchCap > d.maxLocalTasks {
+		h.batchCap = d.maxLocalTasks
+	}
 	h.exec = func(r alloc.Retired) {
 		r.Pool.FreeSlot(r.Slot)
 		d.rec.Reclaimed.Inc()
@@ -462,6 +519,7 @@ func (h *Handle) EndMut() {
 func (h *Handle) resurrect() {
 	h.batch = nil
 	h.pushCnt = 0
+	h.scanSnap = nil
 	h.gen++
 	d := h.d
 	d.handles.Add(h)
@@ -918,8 +976,14 @@ func (h *Handle) DeferNoCount(slot uint64, pool alloc.Freer) {
 	if obs.On {
 		r.At = obs.Nanos()
 	}
+	if h.batch == nil {
+		// The previous flush handed its backing array to the global task
+		// set; start a fresh one at the current rung of the geometric
+		// capacity ladder (see batchCap).
+		h.batch = make([]alloc.Retired, 0, max(h.batchCap, 1))
+	}
 	h.batch = append(h.batch, r)
-	if len(h.batch) >= h.d.maxLocalTasks {
+	if len(h.batch) >= h.flushAt {
 		h.flushAndAdvance()
 	}
 	if claimed {
@@ -942,9 +1006,19 @@ func (h *Handle) flush() {
 	}
 	d := h.d
 	e := d.epoch.Load()
-	tasks := make([]alloc.Retired, len(h.batch))
-	copy(tasks, h.batch)
-	h.batch = h.batch[:0]
+	// Hand the backing array to the global task set wholesale instead of
+	// copying it out — the drain drops it when the batch expires. The next
+	// Defer allocates the replacement one rung up the geometric ladder, so
+	// a steadily retiring handle pays one allocation and zero copies per
+	// flush where it used to pay both.
+	tasks := h.batch
+	h.batch = nil
+	if h.batchCap < h.flushAt {
+		h.batchCap *= 2
+		if h.batchCap > h.flushAt {
+			h.batchCap = h.flushAt
+		}
+	}
 
 	var ts int64
 	if obs.On {
@@ -978,17 +1052,21 @@ func (h *Handle) flushAndAdvance() {
 	}
 
 	forced := false
-	for _, other := range d.handles.Snapshot() {
-		if other == h {
-			continue
-		}
-		ok, signalled := h.neutralizeIfLagging(other, eg)
-		if !ok {
+	if d.cleared.Load() <= eg {
+		// No complete clean scan for this advance yet: walk (or resume
+		// walking) the registry.
+		if !h.scanForAdvance(eg) {
 			// A laggard exists and the failure budget is not yet
-			// exhausted: give up advancing this time (line 31).
+			// exhausted: give up advancing this time (line 31); the
+			// cursor resumes from the laggard on the next attempt.
 			return
 		}
-		forced = forced || signalled
+		forced = h.scanForced
+		h.scanSnap = nil
+		// The scan covered the whole registry and every section it saw
+		// was absent, ahead, or neutralized: publish that so concurrent
+		// and later advancers from eg skip their scans.
+		raiseWatermark(&d.cleared, eg+1)
 	}
 
 	h.pushCnt = 0
@@ -1008,10 +1086,57 @@ func (h *Handle) flushAndAdvance() {
 	h.executeExpired(eg)
 }
 
+// scanForAdvance walks the registry looking for critical sections that
+// block the advance from eg, neutralizing them once the failure budget is
+// exhausted. It reports whether the scan completed with every handle
+// absent, ahead, or neutralized. On false the cursor state (scanSnap,
+// scanPos, scanForced) is parked so the next attempt from the same epoch
+// resumes at the blocking handle instead of rescanning the prefix — the
+// prefix was observed non-blocking for eg, and (delayed stale announces
+// aside, which are harmless; see Domain.cleared) nothing can re-enter eg
+// while the global epoch sits at eg.
+func (h *Handle) scanForAdvance(eg uint64) bool {
+	if h.scanEpoch != eg || h.scanSnap == nil {
+		h.scanSnap = h.d.handles.Snapshot()
+		h.scanPos = 0
+		h.scanEpoch = eg
+		h.scanForced = false
+	}
+	for h.scanPos < len(h.scanSnap) {
+		other := h.scanSnap[h.scanPos]
+		if other == h {
+			h.scanPos++
+			continue
+		}
+		ok, signalled := h.neutralizeIfLagging(other, eg)
+		if !ok {
+			return false
+		}
+		h.scanForced = h.scanForced || signalled
+		h.scanPos++
+	}
+	return true
+}
+
+// raiseWatermark max-CASes w up to v; concurrent raises keep the highest.
+func raiseWatermark(w *atomicx.Padded, v uint64) {
+	for {
+		cur := w.Load()
+		if cur >= v || w.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // neutralizeIfLagging checks other against the epoch eg. It returns
 // ok=false when other is lagging but this thread's failure budget is below
 // ForceThreshold (the caller gives up advancing). Otherwise it neutralizes
 // other if needed and reports whether a signal was sent.
+//
+// The whole verdict costs one atomic load: phase and announced epoch share
+// a packed word, and the phase comparison short-circuits first, so
+// Out/Reaped (and every other non-blocking phase) are skipped without a
+// separate epoch-word access.
 func (h *Handle) neutralizeIfLagging(other *Handle, eg uint64) (ok, signalled bool) {
 	d := h.d
 	for {

@@ -84,6 +84,10 @@ type Domain struct {
 	// EnableBackpressure (and always nil for RCU-backed domains).
 	bp *reap.Backpressure
 
+	// bound memoizes the last §5-bound evaluation; see
+	// GarbageBoundObserved.
+	bound atomic.Pointer[boundMemo]
+
 	// policy is the panic policy every handle's recover barrier applies.
 	policy PanicPolicy
 	// closed is set by MarkClosed; the public map layer refuses new
@@ -142,15 +146,36 @@ func (d *Domain) GarbageBoundFor(threads, shields int) int64 {
 	return d.brcu.GarbageBoundFor(threads) + int64(shields)
 }
 
+// boundMemo caches one GarbageBoundObserved evaluation keyed by the peaks
+// it was computed from; see that method.
+type boundMemo struct {
+	handles int
+	shields int64
+	bound   int64
+}
+
 // GarbageBoundObserved is the §5 bound 2GN+GN²+H evaluated entirely from
 // the domain's own accounting: N is the peak number of simultaneously
 // registered BRCU handles and H the peak number of registered HP shields.
 // It returns -1 for an RCU-backed domain.
+//
+// The result is memoized on the (N, H) pair it was computed from: both
+// peaks are monotone, so a hit is exact and a stale entry is simply
+// replaced. The backpressure ladder refreshes its thresholds from here on
+// retire paths, which without the memo would recompute the polynomial —
+// and its float conversions — for the same peaks millions of times.
 func (d *Domain) GarbageBoundObserved() int64 {
 	if d.brcu == nil {
 		return -1
 	}
-	return d.brcu.GarbageBoundObserved() + d.HP.ShieldsPeak()
+	n := d.brcu.HandlesPeak()
+	s := d.HP.ShieldsPeak()
+	if m := d.bound.Load(); m != nil && m.handles == n && m.shields == s {
+		return m.bound
+	}
+	b := d.brcu.GarbageBoundFor(n) + s
+	d.bound.Store(&boundMemo{handles: n, shields: s, bound: b})
+	return b
 }
 
 // EnableBackpressure installs the tiered-backpressure evaluator on a
@@ -218,6 +243,12 @@ type Handle struct {
 	// must never quarantine: they are long-lived and mostly idle, so
 	// their leases go stale by design.
 	exempt bool
+
+	// bpTick samples the backpressure-threshold refresh on the retire
+	// path: every 256th retire of this handle recomputes the cached
+	// rungs, replacing the shared call counter the ladder itself used to
+	// bump (a domain-wide RMW per retire). Owner-goroutine-only.
+	bpTick uint32
 
 	// poisoned records the contained panic whose restore failed; a
 	// non-nil value makes every subsequent operation refuse the handle
@@ -300,9 +331,17 @@ func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 		// the retiring thread drains its own garbage inline instead of
 		// waiting for the batch thresholds. ShouldDrain, not Level: the
 		// drain tier is an independent knob (DrainFraction > 1 disables
-		// inline drains without touching throttling or rejection).
-		if bp := h.d.bp; bp != nil && bp.ShouldDrain() {
-			h.emergencyDrain()
+		// inline drains without touching throttling or rejection). The
+		// periodic threshold refresh is sampled on this handle's own
+		// counter so domains without a reaper still track a growing
+		// thread count, without a shared RMW per retire.
+		if bp := h.d.bp; bp != nil {
+			if h.bpTick++; h.bpTick&255 == 0 {
+				bp.Refresh()
+			}
+			if bp.ShouldDrain() {
+				h.emergencyDrain()
+			}
 		}
 	} else {
 		h.rcu.DeferNoCount(slot, pool)

@@ -52,6 +52,8 @@ type PanicError struct {
 	Poisoned bool
 }
 
+// Error formats the contained panic: entry point, handle state at
+// containment time, whether the handle survived, and the panic value.
 func (e *PanicError) Error() string {
 	state := "handle restored"
 	if e.Poisoned {

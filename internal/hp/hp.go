@@ -91,6 +91,17 @@ type Handle struct {
 	scratch map[uint64]int // reused protected-slot multiset keyed by slot
 	trace   *obs.Trace     // reclaim events; nil with observability off
 
+	// scanAt is the retired-list length that triggers the next Reclaim:
+	// the survivors of the last scan plus the scan threshold. A fixed
+	// `len(retired) >= threshold` check degenerates into a full shield
+	// scan per retire once `threshold` nodes are pinned by live shields
+	// (each scan keeps them all and the very next retire re-triggers);
+	// the moving watermark always buys a full batch of new retirements
+	// between scans. Survivors are capped by the live-shield count, so
+	// scanAt ≤ H + threshold and the §5 bound 2GN+GN²+H still holds.
+	// Owner-goroutine-only.
+	scanAt int
+
 	// reaped is set by Domain.Adopt when the lease reaper takes over this
 	// handle's state, and cleared by Readopt if the owner resurrects. It
 	// makes a late Unregister by a slow-but-alive owner a no-op instead of
@@ -100,7 +111,7 @@ type Handle struct {
 
 // Register adds a thread to the domain.
 func (d *Domain) Register() *Handle {
-	h := &Handle{d: d, scratch: make(map[uint64]int)}
+	h := &Handle{d: d, scratch: make(map[uint64]int), scanAt: d.scanThreshold}
 	if obs.On {
 		h.trace = obs.NewTrace("hp")
 	}
@@ -203,8 +214,14 @@ func (d *Domain) RemoveAll(hs []*Handle) {
 
 // Shield is a single protection slot for a node (Algorithm 1). The zero
 // value protects nothing.
+//
+// The slot is cache-line-padded: a bare shield is an 8-byte heap object,
+// so the allocator's size classes would pack eight of them — typically
+// owned by eight different threads — into one line, and every Protect
+// store would invalidate the other seven owners' cached copies as well as
+// every reclaimer mid-scan. Padding gives each shield a private line.
 type Shield struct {
-	slot atomic.Uint64
+	slot atomicx.Padded
 }
 
 // NewShield creates and registers a shield owned by h.
@@ -273,7 +290,7 @@ func (h *Handle) Retire(slot uint64, pool alloc.Freer) {
 		r.At = obs.Nanos()
 	}
 	h.retired = append(h.retired, r)
-	if len(h.retired) >= h.d.scanThreshold {
+	if len(h.retired) >= h.scanAt {
 		h.Reclaim()
 	}
 }
@@ -292,7 +309,7 @@ func (h *Handle) RetireNoCount(slot uint64, pool alloc.Freer) {
 // measures the full two-step lifetime.
 func (h *Handle) RetireRecord(r alloc.Retired) {
 	h.retired = append(h.retired, r)
-	if len(h.retired) >= h.d.scanThreshold {
+	if len(h.retired) >= h.scanAt {
 		h.Reclaim()
 	}
 }
@@ -340,6 +357,10 @@ func (h *Handle) Reclaim() {
 		}
 	}
 	h.retired = kept
+	// Move the watermark past the survivors so the next scan is earned by
+	// a full batch of fresh retirements, not re-triggered per retire by
+	// nodes still pinned under live shields (see scanAt).
+	h.scanAt = len(kept) + d.scanThreshold
 	if freed > 0 {
 		d.rec.Reclaimed.Add(freed)
 		d.rec.Unreclaimed.Add(-freed)

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"github.com/smrgo/hpbrcu/internal/atomicx"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
@@ -82,10 +83,14 @@ type Backpressure struct {
 	bound       func() int64
 	rec         *stats.Reclamation
 
+	// The cached thresholds are read on every ShouldDrain (one per
+	// retire, domain-wide); calls is an RMW bumped by every Level. Pad
+	// the counter onto its own line so those writes don't keep
+	// invalidating the read-mostly threshold line under every reader.
 	drainAt    atomic.Int64
 	throttleAt atomic.Int64
 	rejectAt   atomic.Int64
-	calls      atomic.Uint64
+	calls      atomicx.Padded
 }
 
 // NewBackpressure builds the evaluator. unreclaimed reads the live gauge;
@@ -159,10 +164,14 @@ func (bp *Backpressure) Level() Level {
 // independent knob: setting it above 1 disables inline drains without
 // touching throttling or rejection (useful when drains are the reaper's
 // job, and for tests that pin the reject tier with stuck garbage).
+//
+// ShouldDrain is two atomic loads and nothing else: it runs once per
+// retire on every thread, so it must not share an RMW (the old every-256th
+// self-refresh turned the call counter into a domain-wide contended word).
+// Threshold refreshes instead come from the reaper tick and from the
+// retire path's own per-handle sampling (internal/core), which touch no
+// shared state until they actually refresh.
 func (bp *Backpressure) ShouldDrain() bool {
-	if bp.calls.Add(1)&255 == 0 {
-		bp.Refresh()
-	}
 	return bp.unreclaimed() >= bp.drainAt.Load()
 }
 

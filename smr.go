@@ -283,6 +283,7 @@ type ErrUnsupported struct {
 	Scheme    Scheme
 }
 
+// Error formats the unsupported combination with a pointer to Table 1.
 func (e *ErrUnsupported) Error() string {
 	return fmt.Sprintf("hpbrcu: %s does not support %s (see Table 1 of the paper)", e.Structure, e.Scheme)
 }
