@@ -33,10 +33,11 @@ var benchRunners = map[string]func(bench.PipelineConfig) *bench.BenchFile{
 	"fig1":   bench.BenchFig1,
 	"fig5":   bench.BenchFig5,
 	"table2": bench.BenchTable2,
+	"pool":   bench.BenchPool,
 }
 
 // benchOrder fixes the run order (map iteration would shuffle it).
-var benchOrder = []string{"fig1", "fig5", "table2"}
+var benchOrder = []string{"fig1", "fig5", "table2", "pool"}
 
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -45,7 +46,7 @@ func runBench(args []string) {
 	outDir := fs.String("out", ".", "directory to write BENCH_<experiment>.json into")
 	baselines := fs.String("baseline", "", "comma-separated baseline BENCH_*.json files; compare instead of overwriting, exit nonzero on regression")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional throughput drop vs baseline; >=1 skips throughput checks (cross-machine CI) but memory bounds still gate")
-	experiments := fs.String("experiments", "", "comma-separated subset of fig1,fig5,table2 (default: all, or the baselines' experiments)")
+	experiments := fs.String("experiments", "", "comma-separated subset of fig1,fig5,table2,pool (default: all, or the baselines' experiments)")
 	schemeList := fs.String("schemes", "", "comma-separated scheme filter (committed baselines use the full set)")
 	fs.Parse(args)
 

@@ -15,6 +15,7 @@ var (
 	chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
 	chaosLeak  = flag.Bool("leak", false, "chaos: compose goroutine-death faults into every schedule; HP-BRCU runs the orphan reaper and gates on reap convergence")
 	chaosPanic = flag.Bool("panic", false, "chaos: compose injected panics into every schedule; maps run under PanicRecover and the sweep gates on containment accounting")
+	chaosPool  = flag.Bool("poolleak", false, "chaos: drive the handle-free facade and compose checkout-leak faults into every schedule; HP-BRCU runs the orphan reaper and gates on the pool leak sweep reclaiming every leaked checkout")
 )
 
 // runChaos sweeps the fault-injection schedule corpus over the expedited
@@ -28,8 +29,13 @@ func runChaos() {
 	}
 
 	// The chaos harness targets the expedited schemes (the others have no
-	// fault sites to speak of); honor -schemes but clamp to that set.
+	// fault sites to speak of); honor -schemes but clamp to that set. The
+	// pool-leak mode gates on reaper-backed reclamation, so it clamps
+	// further to HP-BRCU.
 	capable := map[hpbrcu.Scheme]bool{hpbrcu.HPRCU: true, hpbrcu.HPBRCU: true}
+	if *chaosPool {
+		capable = map[hpbrcu.Scheme]bool{hpbrcu.HPBRCU: true}
+	}
 	var sel []hpbrcu.Scheme
 	for _, s := range schemeFilter() {
 		if capable[s] {
@@ -47,12 +53,18 @@ func runChaos() {
 	if *chaosPanic {
 		schedules = chaos.WithPanic(schedules)
 	}
+	if *chaosPool {
+		schedules = chaos.WithPoolLeak(schedules)
+	}
 	fmt.Printf("Chaos sweep: %d seeds × %d schedules, watchdog on", *chaosSeeds, len(schedules))
 	if *chaosLeak {
 		fmt.Print(", goroutine-death faults + orphan reaper")
 	}
 	if *chaosPanic {
 		fmt.Print(", injected panics + containment")
+	}
+	if *chaosPool {
+		fmt.Print(", facade ops + checkout-leak faults + pool leak sweep")
 	}
 	fmt.Println()
 
@@ -63,17 +75,23 @@ func runChaos() {
 	if *chaosPanic {
 		header = append(header, "panics")
 	}
+	if *chaosPool {
+		header = append(header, "checkout leaks", "reclaimed")
+	}
 	var rows []row
 	var failures []string
 	for _, scheme := range sel {
 		for _, st := range []bench.Structure{bench.HList, bench.HMList} {
 			for _, sched := range schedules {
 				var fired, escalations, broadcasts, leaked, reaped, panics uint64
+				var checkoutLeaks, reclaimed uint64
 				survived := 0
 				for seed := 1; seed <= *chaosSeeds; seed++ {
 					res := chaos.Run(chaos.Scenario{
 						Structure: st, Scheme: scheme, Seed: uint64(seed),
-						Schedule: sched, Watchdog: true, Reaper: *chaosLeak,
+						Schedule: sched, Watchdog: true,
+						Reaper: *chaosLeak || *chaosPool,
+						Facade: *chaosPool,
 					})
 					fired += res.Fired
 					escalations += uint64(res.Stats.WatchdogEscalations)
@@ -81,6 +99,8 @@ func runChaos() {
 					leaked += res.Leaked
 					reaped += uint64(res.Stats.ReapedHandles)
 					panics += uint64(res.Stats.PanicsRecovered)
+					checkoutLeaks += res.CheckoutLeaks
+					reclaimed += uint64(res.Stats.PoolLeaksReclaimed)
 					if res.Survived() {
 						survived++
 					} else {
@@ -112,6 +132,9 @@ func runChaos() {
 				}
 				if *chaosPanic {
 					r = append(r, strconv.FormatUint(panics, 10))
+				}
+				if *chaosPool {
+					r = append(r, strconv.FormatUint(checkoutLeaks, 10), strconv.FormatUint(reclaimed, 10))
 				}
 				rows = append(rows, r)
 			}

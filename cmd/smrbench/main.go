@@ -17,8 +17,8 @@
 //	           -leak-rate kills a fraction of writers without Unregister and
 //	           -reaper runs the lease-based orphan reaper against the leaks
 //	ablation   design-choice sweeps (BackupPeriod, ForceThreshold, BatchSize)
-//	bench      benchmark-regression pipeline: fixed-seed fig1/fig5/table2 runs
-//	           written to BENCH_*.json; `bench -baseline <files>` re-runs and
+//	bench      benchmark-regression pipeline: fixed-seed fig1/fig5/table2/pool
+//	           runs written to BENCH_*.json; `bench -baseline <files>` re-runs and
 //	           exits nonzero on a throughput regression or §5 bound violation
 //	           (flags after `bench` are its own; see benchcmd.go)
 //	chaos      fault-injection sweep: seeds × schedules × schemes × lists,

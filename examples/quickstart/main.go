@@ -1,16 +1,22 @@
-// Quickstart: a concurrent sorted map protected by HP-BRCU.
+// Quickstart: a concurrent sorted map protected by HP-BRCU, driven
+// through the handle-free facade.
 //
 // Run with:
 //
 //	go run ./examples/quickstart
 //
-// Eight goroutines hammer a Harris-Michael list with mixed operations
-// while the scheme reclaims retired nodes behind them; at the end the
-// program prints the reclamation balance, demonstrating the bounded
-// memory footprint that distinguishes HP-BRCU from plain RCU.
+// A wave of short-lived goroutines — spawn, one operation, exit, the
+// shape of a request handler — hammers a Harris-Michael list through the
+// facade: no Register/Unregister ceremony, every operation borrows a
+// registered handle from the map's internal pool and returns it on every
+// path. At the end the program prints the reclamation balance,
+// demonstrating the bounded memory footprint that distinguishes HP-BRCU
+// from plain RCU — a bound that scales with the pool size, not with the
+// thousands of goroutines that came and went.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,54 +26,61 @@ import (
 
 func main() {
 	// The zero Config selects the paper's parameters: reclamation every
-	// 128 retires, neutralization after 2 failed epoch advances.
+	// 128 retires, neutralization after 2 failed epoch advances, and a
+	// facade handle pool of 4×GOMAXPROCS.
 	m, err := hpbrcu.NewHMList(hpbrcu.HPBRCU, hpbrcu.Config{})
 	if err != nil {
 		panic(err)
 	}
 
-	const workers = 8
-	const opsPerWorker = 20000
+	// 16k one-shot goroutines, at most 64 in flight. Each runs a single
+	// facade operation with zero setup — the pooled handle checkout is a
+	// few nanoseconds, versus a full protocol registration per goroutine
+	// (which would also grow the §5 garbage bound with the goroutine
+	// count).
+	const ops = 16000
+	sem := make(chan struct{}, 64)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := int64(0); i < ops; i++ {
+		sem <- struct{}{}
 		wg.Add(1)
-		go func(id int64) {
+		go func(i int64) {
 			defer wg.Done()
-			// Each goroutine registers its own handle: registration wires
-			// this thread into the epoch protocol and allocates its
-			// hazard-pointer shields.
-			h := m.Register()
-			defer h.Unregister()
-
-			for i := int64(0); i < opsPerWorker; i++ {
-				k := (id*opsPerWorker + i) % 512
-				switch i % 4 {
-				case 0:
-					h.Insert(k, k*10)
-				case 1:
-					h.Get(k)
-				case 2:
-					// Remove the key inserted two iterations ago.
-					h.Remove((k - 2 + 512) % 512)
-				default:
-					h.Get(k)
-				}
+			defer func() { <-sem }()
+			k := i % 512
+			var err error
+			switch i % 4 {
+			case 0:
+				_, err = m.Insert(k, k*10)
+			case 1:
+				_, _, err = m.Get(k)
+			case 2:
+				// Remove the key inserted two iterations ago.
+				_, _, err = m.Remove((k - 2 + 512) % 512)
+			default:
+				_, _, err = m.Get(k)
 			}
-			// Drain this thread's deferred reclamation before leaving.
-			h.Barrier()
-		}(int64(w))
+			// Under overload the facade load-sheds instead of blocking
+			// forever or registering unbounded handles.
+			if err != nil && !errors.Is(err, hpbrcu.ErrHandleExhausted) {
+				panic(err)
+			}
+		}(i)
 	}
 	wg.Wait()
 
-	// Unified shutdown: Close stops admitting operations, drains every
-	// straggler batch, and stops the domain's service goroutines. A nil
-	// error certifies the books balanced.
+	// Unified shutdown: Close drains the handle pool to balanced books,
+	// stops admitting operations, drains every straggler batch, and stops
+	// the domain's service goroutines. A nil error certifies the books
+	// balanced.
 	if err := hpbrcu.Close(m, 5*time.Second); err != nil {
 		panic(err)
 	}
 
 	s := m.Stats().Snapshot()
 	fmt.Printf("scheme:            %s\n", m.Scheme())
+	fmt.Printf("pool checkouts:    %d\n", s.PoolCheckouts)
+	fmt.Printf("load sheds:        %d\n", s.PoolExhausted)
 	fmt.Printf("retired nodes:     %d\n", s.Retired)
 	fmt.Printf("reclaimed nodes:   %d\n", s.Reclaimed)
 	fmt.Printf("still unreclaimed: %d\n", s.Unreclaimed)

@@ -1,0 +1,219 @@
+package hpbrcu
+
+// Handle-free facade: the error-returning operation methods of the Map
+// interface. Each operation checks a registered handle out of a
+// lock-free tiered pool (internal/pool), runs through the full decorator
+// stack — backpressure gate, lifecycle guard, panic containment — and
+// returns the handle on every path, including panics and context
+// cancellation. The §5 garbage bound thereby scales with the pool size,
+// not the goroutine count; see DESIGN.md §12 for the safety argument.
+
+import (
+	"context"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/core"
+	"github.com/smrgo/hpbrcu/internal/fault"
+	"github.com/smrgo/hpbrcu/internal/pool"
+)
+
+// ErrHandleExhausted is returned by facade operations when every pooled
+// handle stayed checked out through the bounded acquisition wait
+// (PoolConfig.AcquireTimeout). Like ErrMemoryPressure it is a load-shed
+// signal, always returned and never panicked: the pool refuses to block
+// forever or to register handles past its ceiling, because unbounded
+// registration would grow the §5 garbage bound with the goroutine count
+// — the failure mode the pool exists to prevent.
+var ErrHandleExhausted = pool.ErrExhausted
+
+// coreHandled is implemented by the expedited structure handles, whose
+// composed HP-(B)RCU participation record carries the lease and reap
+// state the pool's leak sweep consults.
+type coreHandled interface {
+	Core() *core.Handle
+}
+
+// pooledHandle is one pooled checkout resource: the fully decorated
+// handle plus its participation record (nil for schemes without an
+// HP-(B)RCU domain, where the reaper integration degrades to no-ops).
+type pooledHandle struct {
+	g    *guardedHandle
+	core *core.Handle
+}
+
+// handlePool aliases the instantiated pool so mapImpl can hold an
+// atomic.Pointer to it.
+type handlePool = pool.Pool[*pooledHandle]
+
+// pool returns the map's handle pool, creating it on first use. Lazy
+// creation keeps registered-handle-only users at zero cost and lets the
+// facade work without any opt-in configuration.
+func (m *mapImpl) pool() *handlePool {
+	if p := m.hpool.Load(); p != nil {
+		return p
+	}
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if p := m.hpool.Load(); p != nil {
+		return p
+	}
+	p := pool.New(pool.Config[*pooledHandle]{
+		Size:           m.poolCfg.Size,
+		AcquireTimeout: m.poolCfg.AcquireTimeout,
+		LeakTimeout:    m.poolCfg.LeakTimeout,
+		Rec:            m.st(),
+		New: func() *pooledHandle {
+			g := m.Register().(*guardedHandle)
+			ph := &pooledHandle{g: g}
+			if ch, ok := g.base.(coreHandled); ok {
+				ph.core = ch.Core()
+			}
+			return ph
+		},
+		// Retire owns the disposal of a handle the pool (or the borrower)
+		// holds outright. The guard's Unregister already refuses poisoned
+		// handles — their garbage is the lease reaper's to adopt — and
+		// works after Close, which is exactly when the drain runs.
+		Retire: func(ph *pooledHandle) { ph.g.Unregister() },
+		Reaped: func(ph *pooledHandle) bool { return ph.core != nil && ph.core.Reaped() },
+		Stamp: func(ph *pooledHandle) {
+			if ph.core != nil {
+				ph.core.StampLease()
+			}
+		},
+	})
+	m.hpool.Store(p)
+	if m.closed.Load() {
+		// Lost a race with Close (which only drains the pool it can see):
+		// close this one immediately so no checkout ever succeeds on it.
+		p.Close(time.Now())
+	}
+	return p
+}
+
+// checkout acquires a pooled handle, translating pool errors into the
+// package's lifecycle vocabulary. ctx may be nil.
+func (m *mapImpl) checkout(ctx context.Context) (*pool.Entry[*pooledHandle], error) {
+	if m.closed.Load() {
+		return nil, ErrClosed
+	}
+	e, err := m.pool().Acquire(ctx)
+	if err == pool.ErrClosed {
+		return nil, ErrClosed
+	}
+	return e, err
+}
+
+// checkin returns a checkout on every completion path. completed is
+// false only when a panic is unwinding through the facade frame
+// (PanicRethrow, or a non-library panic): the handle was restored
+// through the abort path before the rethrow, but a handle that just
+// carried a panic is conservatively retired rather than recycled —
+// panics are rare, capacity is re-mintable, and a poisoned handle must
+// not be reused at all. The SitePoolLeak fault hook simulates a borrower
+// dying with the checkout, which is the leak sweep's job to survive.
+func (m *mapImpl) checkin(e *pool.Entry[*pooledHandle], completed bool) {
+	if fault.On && fault.Fire(fault.SitePoolLeak) {
+		return
+	}
+	g := e.Res().g
+	if !completed || g.poisoned {
+		m.pool().Discard(e)
+		return
+	}
+	// Never hand a latched error to the next borrower: facade callers get
+	// their errors in return values, so the latch must be clean on reuse.
+	g.err = nil
+	m.pool().Release(e)
+}
+
+// Get implements the handle-free Map.Get.
+func (m *mapImpl) Get(key int64) (v int64, ok bool, err error) {
+	e, cerr := m.checkout(nil)
+	if cerr != nil {
+		return 0, false, cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	g := e.Res().g
+	v, ok = g.Get(key)
+	err = g.err
+	completed = true
+	return v, ok, err
+}
+
+// GetCtx implements the handle-free Map.GetCtx: ctx bounds both the
+// handle acquisition and (on schemes that support it) the lookup itself,
+// via cooperative self-neutralization.
+func (m *mapImpl) GetCtx(ctx context.Context, key int64) (v int64, ok bool, err error) {
+	e, cerr := m.checkout(ctx)
+	if cerr != nil {
+		return 0, false, cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	v, ok, err = e.Res().g.GetCtx(ctx, key)
+	completed = true
+	return v, ok, err
+}
+
+// Insert implements the handle-free Map.Insert.
+func (m *mapImpl) Insert(key, val int64) (ok bool, err error) {
+	e, cerr := m.checkout(nil)
+	if cerr != nil {
+		return false, cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	g := e.Res().g
+	ok = g.Insert(key, val)
+	err = g.err
+	completed = true
+	return ok, err
+}
+
+// TryInsert implements the handle-free Map.TryInsert: Insert through the
+// backpressure admission gate when the map has one, so callers compose
+// both load-shed signals (ErrMemoryPressure, ErrHandleExhausted) in one
+// place.
+func (m *mapImpl) TryInsert(key, val int64) (ok bool, err error) {
+	e, cerr := m.checkout(nil)
+	if cerr != nil {
+		return false, cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	ok, err = e.Res().g.TryInsert(key, val)
+	completed = true
+	return ok, err
+}
+
+// Remove implements the handle-free Map.Remove.
+func (m *mapImpl) Remove(key int64) (v int64, ok bool, err error) {
+	e, cerr := m.checkout(nil)
+	if cerr != nil {
+		return 0, false, cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	g := e.Res().g
+	v, ok = g.Remove(key)
+	err = g.err
+	completed = true
+	return v, ok, err
+}
+
+// Barrier implements the handle-free Map.Barrier.
+func (m *mapImpl) Barrier() (err error) {
+	e, cerr := m.checkout(nil)
+	if cerr != nil {
+		return cerr
+	}
+	completed := false
+	defer func() { m.checkin(e, completed) }()
+	g := e.Res().g
+	g.Barrier()
+	err = g.err
+	completed = true
+	return err
+}

@@ -118,6 +118,40 @@ func BenchFig5(cfg PipelineConfig) *BenchFile {
 	return f
 }
 
+// poolSizes is the facade pool-ceiling sweep of the pool pipeline.
+var poolSizes = []int{4, 16, 64}
+
+// BenchPool measures the transient-goroutine facade workload: every
+// operation runs in a freshly spawned goroutine through the handle-free
+// facade, so the number is dominated by pooled-handle checkout cost. The
+// workload column sweeps the pool ceiling — throughput should be flat
+// across it at this concurrency (four spawners), so a regression in any
+// column points at the pool tiers rather than the workload.
+func BenchPool(cfg PipelineConfig) *BenchFile {
+	cfg.normalize()
+	f := cfg.file("pool")
+	for _, size := range poolSizes {
+		workload := fmt.Sprintf("transient/pool=%02d/spawners=4", size)
+		for _, s := range cfg.Schemes {
+			if !Supported(HList, s) {
+				continue
+			}
+			res := RunTransient(TransientConfig{
+				Structure: HList, Scheme: s, PoolSize: size, Spawners: 4,
+				KeyRange: 1024, Duration: cfg.Duration, Seed: cfg.Seed,
+			})
+			f.Points = append(f.Points, BenchPoint{
+				Workload:        workload,
+				Scheme:          s.String(),
+				OpsPerSec:       res.Throughput(),
+				PeakUnreclaimed: res.PeakUnreclaimed,
+				Bound:           -1,
+			})
+		}
+	}
+	return f
+}
+
 // BenchTable2 measures the stalled-thread robustness experiment (Table 2).
 // OpsPerSec is writer ops/s; Bound carries the observed §5 bound for
 // HP-BRCU (and -1 for unbounded schemes), so Compare turns any

@@ -1,0 +1,130 @@
+package bench
+
+// The transient-goroutine workload: the access pattern the handle-free
+// facade exists for. Every operation runs in a freshly spawned goroutine
+// — spawn, one facade op, exit — so per-operation cost is dominated by
+// the pooled-handle checkout, and registering a handle per goroutine (the
+// pre-facade alternative) would be both slower and §5-unbounded.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/atomicx"
+)
+
+// TransientConfig configures one transient-goroutine measurement point.
+type TransientConfig struct {
+	Structure Structure
+	Scheme    hpbrcu.Scheme
+	// PoolSize is the facade handle-pool ceiling (0 = library default).
+	PoolSize int
+	// Spawners is how many loops spawn one-shot goroutines; each spawner
+	// keeps exactly one transient goroutine in flight, so Spawners is
+	// also the op concurrency.
+	Spawners int
+	KeyRange int64
+	Duration time.Duration
+	Seed     uint64
+}
+
+// TransientResult is one transient-goroutine measurement.
+type TransientResult struct {
+	// Ops counts completed facade operations (load-sheds excluded).
+	Ops int64
+	// Shed counts operations refused with ErrHandleExhausted.
+	Shed            int64
+	Elapsed         time.Duration
+	PeakUnreclaimed int64
+	Checkouts       int64
+}
+
+// Throughput returns completed operations per second.
+func (r TransientResult) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// RunTransient executes one transient-goroutine measurement: prefill,
+// then Spawners loops that each spawn a goroutine per operation (50%
+// get / 25% insert / 25% remove) against the handle-free facade.
+func RunTransient(cfg TransientConfig) TransientResult {
+	if cfg.Spawners <= 0 {
+		cfg.Spawners = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultBenchSeed
+	}
+	enableInterleaving()
+	mcfg := hpbrcu.Config{Pool: hpbrcu.PoolConfig{Size: cfg.PoolSize}}
+	m, ok := NewMap(cfg.Structure, cfg.Scheme, cfg.KeyRange, mcfg)
+	if !ok {
+		panic(fmt.Sprintf("bench: %s does not support %s", cfg.Structure, cfg.Scheme))
+	}
+	Prefill(m, cfg.Structure, cfg.KeyRange, 0.5, cfg.Seed)
+	m.Stats().Unreclaimed.ResetPeak()
+
+	var (
+		stop        atomic.Bool
+		total, shed atomic.Int64
+		wg          sync.WaitGroup
+		start       = make(chan struct{})
+	)
+	for w := 0; w < cfg.Spawners; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			labelWorker(cfg.Structure, cfg.Scheme, "spawner")
+			rng := atomicx.NewRand(mixedWorkerSeed(cfg.Seed, id))
+			<-start
+			ops, drops := int64(0), int64(0)
+			for !stop.Load() {
+				k := rng.Intn(cfg.KeyRange)
+				p := rng.Next() % 100
+				done := make(chan error, 1)
+				go func() {
+					var err error
+					switch {
+					case p < 50:
+						_, _, err = m.Get(k)
+					case p < 75:
+						_, err = m.Insert(k, k)
+					default:
+						_, _, err = m.Remove(k)
+					}
+					done <- err
+				}()
+				if err := <-done; err != nil {
+					drops++
+				} else {
+					ops++
+				}
+			}
+			total.Add(ops)
+			shed.Add(drops)
+		}(uint64(w))
+	}
+
+	t0 := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	s := m.Stats().Snapshot()
+	res := TransientResult{
+		Ops:             total.Load(),
+		Shed:            shed.Load(),
+		Elapsed:         elapsed,
+		PeakUnreclaimed: s.PeakUnreclaimed,
+		Checkouts:       s.PoolCheckouts,
+	}
+	hpbrcu.Close(m, time.Second)
+	return res
+}

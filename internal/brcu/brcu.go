@@ -567,6 +567,18 @@ func (h *Handle) TryBeginReap() bool {
 // from them while live.
 func (h *Handle) FinishReap() { h.status.Store(pack(phaseReaped, 0)) }
 
+// Reaped reports whether the handle is currently in the reaped state:
+// the lease reaper confirmed its owner dead, adopted its deferred state
+// and removed it from the registries, and no owner has resurrected it
+// since. The handle pool polls this from its leak sweep (any goroutine,
+// hence the atomic load): a pooled checkout whose handle was reaped is a
+// leak the reaper already cleaned up after, so the pool can retire the
+// checkout slot without touching the handle.
+func (h *Handle) Reaped() bool {
+	ph, _ := unpack(h.status.Load())
+	return ph == phaseReaped
+}
+
 // CancelReap aborts a confirmed reap without adopting: Reaping → Out.
 // The handle stays registered and its owner, if merely slow, continues
 // with its state intact — no resurrection, no generation bump. The

@@ -133,6 +133,26 @@ func WithPanic(scheds []Schedule) []Schedule {
 	return out
 }
 
+// WithPoolLeak returns a copy of scheds with a checkout-leak plan
+// composed into each schedule (and "+poolleak" appended to its name):
+// roughly every ~900th facade checkin is skipped outright, simulating a
+// borrower goroutine dying with its pooled handle still checked out. The
+// plans only bite in facade scenarios (Scenario.Facade), where Run
+// asserts the both-ways invariant: with the reaper on the pool's leak
+// sweep reclaims every leaked checkout and Close drains to balanced
+// books; with the reaper off the leaked handles' garbage is demonstrably
+// stuck. The cooldown keeps a burst of leaks from consuming the whole
+// pool before the sweep can resurrect capacity.
+func WithPoolLeak(scheds []Schedule) []Schedule {
+	out := make([]Schedule, len(scheds))
+	for i, s := range scheds {
+		out[i] = s
+		out[i].Name = s.Name + "+poolleak"
+		out[i].Plans[fault.SitePoolLeak] = Plan{Period: 900, Cooldown: 64}
+	}
+	return out
+}
+
 func plans(m map[fault.Site]Plan) [fault.NumSites]Plan {
 	var out [fault.NumSites]Plan
 	for s, p := range m {
@@ -170,6 +190,13 @@ type Scenario struct {
 	// handles, and Run asserts the convergence invariant: every leak is
 	// eventually reaped and the books still balance.
 	Reaper bool
+	// Facade makes the workers drive the handle-free facade (m.Get,
+	// m.Insert, m.Remove) instead of registered handles: every operation
+	// checks a pooled handle out and back in, so ErrHandleExhausted is an
+	// expected load-shed outcome (the model does not advance) and
+	// SitePoolLeak plans (see WithPoolLeak) abandon whole checkouts for
+	// the pool's leak sweep to reclaim.
+	Facade bool
 	// Config overrides the map configuration. The zero value selects
 	// hostile chaos defaults (small batches, short checkpoint distance).
 	Config hpbrcu.Config
@@ -185,6 +212,10 @@ type Result struct {
 	// Leaked is how many workers a SiteLeak fault killed mid-run,
 	// abandoning their registered handles.
 	Leaked uint64
+	// CheckoutLeaks is how many facade checkins a SitePoolLeak fault
+	// skipped, each abandoning a pooled handle checkout (facade
+	// scenarios only).
+	CheckoutLeaks uint64
 	// TraceTail is the merged tail of every handle's event trace
 	// (internal/obs), collected after the workers quiesced. On a
 	// violation it shows what the reclamation core was doing when the
@@ -242,6 +273,21 @@ func Run(sc Scenario) Result {
 	if cfg == (hpbrcu.Config{}) {
 		cfg = chaosConfig()
 	}
+	if sc.Facade && cfg.Pool == (hpbrcu.PoolConfig{}) {
+		// A deliberately small pool with test-speed timeouts so exhaustion
+		// and leak reclamation genuinely happen in-run, and a defer batch
+		// larger than one schedule's retire dribble so a leaked checkout's
+		// garbage really is stuck without the reaper (the worst case the
+		// both-ways invariant needs to observe).
+		cfg.Pool = hpbrcu.PoolConfig{
+			Size:           8,
+			AcquireTimeout: 2 * time.Millisecond,
+			LeakTimeout:    50 * time.Millisecond,
+		}
+		if cfg.BatchSize < 64 {
+			cfg.BatchSize = 64
+		}
+	}
 	if sc.Watchdog && sc.Scheme == hpbrcu.HPBRCU {
 		cfg.Watchdog = true
 	}
@@ -298,11 +344,20 @@ func Run(sc Scenario) Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if sc.Facade {
+				runFacadeWorker(m, sc, w, &viol)
+				return
+			}
 			runWorker(m, sc, w, &viol, &leaks)
 		}(w)
 	}
 	wg.Wait()
 	res.Leaked = leaks.Load()
+	res.CheckoutLeaks = inj.Fired(fault.SitePoolLeak)
+
+	if sc.Facade {
+		return finishFacade(m, reaperOn, inj, col, prevCol, &viol, res)
+	}
 
 	// Convergence invariant: with the reaper on, every handle a SiteLeak
 	// killed must be reaped and its adopted garbage fully drained. Poll
@@ -514,4 +569,176 @@ func runWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations, leaks *atomic
 		}
 	}
 	h.Barrier()
+}
+
+// finishFacade is the facade-mode post-run: faults off, then Close —
+// which drains the handle pool (sweeping leaked checkouts), runs the
+// domain drain with the reaper still helping, and settles the books —
+// then the both-ways leak invariant and the §5 bound. With the reaper on,
+// every leaked checkout must be reclaimed and the books must balance;
+// with it off, leaked checkouts must demonstrably stick (that asymmetry
+// is the invariant).
+func finishFacade(m hpbrcu.Map, reaperOn bool, inj *fault.Injector, col, prevCol *obs.Collector, viol *violations, res Result) Result {
+	fault.Deactivate()
+	res.Fired = inj.TotalFired()
+	expectStuck := res.CheckoutLeaks > 0 && !reaperOn
+	timeout := 10 * time.Second
+	if expectStuck {
+		// The drain cannot balance by design; just give the pool's leak
+		// sweep comfortably more than its LeakTimeout to settle capacity.
+		timeout = 1500 * time.Millisecond
+	}
+	closeErr := hpbrcu.Close(m, timeout)
+	if viol.empty() {
+		snap := m.Stats().Snapshot()
+		if expectStuck {
+			if snap.Unreclaimed == 0 {
+				viol.addf("facade: %d leaked checkouts but the books balanced without a reaper — the leak the reaper exists for did not manifest", res.CheckoutLeaks)
+			}
+		} else {
+			if closeErr != nil {
+				viol.addf("facade close: %v", closeErr)
+			}
+			if snap.Unreclaimed != 0 {
+				viol.addf("facade books: unreclaimed=%d after Close (retired=%d reclaimed=%d)",
+					snap.Unreclaimed, snap.Retired, snap.Reclaimed)
+			}
+			if res.CheckoutLeaks > 0 && snap.PoolLeaksReclaimed < int64(res.CheckoutLeaks) {
+				viol.addf("facade: %d checkouts leaked but only %d reclaimed", res.CheckoutLeaks, snap.PoolLeaksReclaimed)
+			}
+		}
+		if b := hpbrcu.GarbageBoundObserved(m); b >= 0 {
+			res.Bound = b
+			if snap.PeakUnreclaimed > b {
+				viol.addf("bound: peak unreclaimed %d exceeds §5 bound %d", snap.PeakUnreclaimed, b)
+			}
+		}
+		if fired := inj.Fired(fault.SitePanic); fired > 0 && snap.PanicsRecovered != int64(fired) {
+			viol.addf("panics: %d injected but %d recovered", fired, snap.PanicsRecovered)
+		}
+	}
+	res.Stats = m.Stats().Snapshot()
+	res.Violations = viol.list
+	obs.Activate(prevCol)
+	res.TraceTail = col.FormatTail(traceTailPerHandle)
+	return res
+}
+
+// facadeErr classifies a facade operation error. ErrHandleExhausted is a
+// load-shed: the operation never ran and the model must not advance. A
+// contained injected panic likewise aborted before any mutation. Anything
+// else — a poisoned handle, a foreign panic, ErrClosed mid-run — is a
+// violation. It reports (skip the model check, stop the worker).
+func facadeErr(err error, viol *violations, w int) (skip, fatal bool) {
+	if err == nil {
+		return false, false
+	}
+	if errors.Is(err, hpbrcu.ErrHandleExhausted) {
+		return true, false
+	}
+	var pe *hpbrcu.PanicError
+	if errors.As(err, &pe) && !pe.Poisoned && pe.Value == fault.ErrInjectedPanic {
+		return true, false
+	}
+	viol.addf("facade worker %d: unexpected error: %v", w, err)
+	return true, true
+}
+
+// runFacadeWorker replays worker w's deterministic stream through the
+// handle-free facade: every operation checks a pooled handle out and back
+// in. The worker owns no registered handle a SiteLeak could kill;
+// SitePoolLeak instead abandons whole checkouts on the checkin path,
+// which happens after the operation applied — so the model advances
+// normally on a leaked op.
+func runFacadeWorker(m hpbrcu.Map, sc Scenario, w int, viol *violations) {
+	defer func() {
+		if r := recover(); r != nil {
+			viol.addf("facade worker %d: panic escaped the facade: %v", w, r)
+		}
+	}()
+
+	var own []int64
+	for k := int64(w); k < sc.KeyRange; k += int64(sc.Workers) {
+		own = append(own, k)
+	}
+	if len(own) == 0 {
+		return
+	}
+	present := make(map[int64]bool, len(own))
+
+	rng := sc.Seed ^ (uint64(w)+1)*0x9E3779B97F4A7C15
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		x := rng
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		return x
+	}
+
+	for i := 0; i < sc.Ops; i++ {
+		r := next()
+		k := own[int(r>>32)%len(own)]
+		switch r % 100 {
+		case 0, 1, 2, 3, 4, 5, 6, 7, 8, 9: // foreign read
+			fk := int64(next() % uint64(sc.KeyRange))
+			v, ok, err := m.Get(fk)
+			if skip, fatal := facadeErr(err, viol, w); skip {
+				if fatal {
+					return
+				}
+				continue
+			}
+			if ok && v != valueOf(fk) {
+				viol.addf("facade worker %d: Get(%d) = %d, canonical value is %d", w, fk, v, valueOf(fk))
+				return
+			}
+		case 10, 11, 12, 13, 14, 15, 16, 17, 18, 19,
+			20, 21, 22, 23, 24, 25, 26, 27, 28, 29: // own read
+			v, ok, err := m.Get(k)
+			if skip, fatal := facadeErr(err, viol, w); skip {
+				if fatal {
+					return
+				}
+				continue
+			}
+			if ok != present[k] || (ok && v != valueOf(k)) {
+				viol.addf("facade worker %d op %d: Get(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
+				return
+			}
+		default:
+			if r&(1<<40) == 0 { // insert
+				ok, err := m.Insert(k, valueOf(k))
+				if skip, fatal := facadeErr(err, viol, w); skip {
+					if fatal {
+						return
+					}
+					continue
+				}
+				if ok == present[k] {
+					viol.addf("facade worker %d op %d: Insert(%d) = %v, model has present=%v", w, i, k, ok, present[k])
+					return
+				}
+				present[k] = true
+			} else { // remove
+				v, ok, err := m.Remove(k)
+				if skip, fatal := facadeErr(err, viol, w); skip {
+					if fatal {
+						return
+					}
+					continue
+				}
+				if ok != present[k] || (ok && v != valueOf(k)) {
+					viol.addf("facade worker %d op %d: Remove(%d) = (%d,%v), model has present=%v", w, i, k, v, ok, present[k])
+					return
+				}
+				present[k] = false
+			}
+		}
+	}
+	// Best-effort flush through one more checkout; exhaustion here is
+	// fine — Close drains whatever is left.
+	_ = m.Barrier()
 }

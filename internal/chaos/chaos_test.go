@@ -77,6 +77,57 @@ func TestRunSurvivesPanicSchedules(t *testing.T) {
 	}
 }
 
+// TestRunFacadePoolLeakBothWays: with checkout-leak faults composed into
+// a facade scenario the invariant is asymmetric by design — the
+// reaper-backed pool leak sweep converges to balanced books, while the
+// same schedule without the reaper demonstrably leaks. Run asserts both
+// directions internally (finishFacade); this test additionally pins the
+// observable counters for each direction.
+func TestRunFacadePoolLeakBothWays(t *testing.T) {
+	sched := WithPoolLeak(Schedules[:1])[0]
+	for _, reaper := range []bool{true, false} {
+		res := Run(Scenario{
+			Structure: bench.HList, Scheme: hpbrcu.HPBRCU, Seed: 11,
+			Schedule: sched, Workers: 4, Ops: 1500, KeyRange: 64,
+			Facade: true, Reaper: reaper,
+		})
+		if !res.Survived() {
+			t.Fatalf("reaper=%v: %v", reaper, res.Violations)
+		}
+		if res.CheckoutLeaks == 0 {
+			t.Fatalf("reaper=%v: the schedule never leaked a checkout", reaper)
+		}
+		if reaper {
+			if res.Stats.PoolLeaksReclaimed < int64(res.CheckoutLeaks) {
+				t.Fatalf("reaped run reclaimed %d of %d leaked checkouts",
+					res.Stats.PoolLeaksReclaimed, res.CheckoutLeaks)
+			}
+			if res.Stats.Unreclaimed != 0 {
+				t.Fatalf("reaped run left unreclaimed=%d", res.Stats.Unreclaimed)
+			}
+		} else if res.Stats.Unreclaimed == 0 {
+			t.Fatal("no-reaper run balanced its books — the leak the reaper exists for did not manifest")
+		}
+	}
+}
+
+// TestRunFacadeCleanSchedule: the facade mode also has to survive a
+// hostile schedule with no composed leaks at all — every operation goes
+// through checkout/checkin and the books balance through Close.
+func TestRunFacadeCleanSchedule(t *testing.T) {
+	res := Run(Scenario{
+		Structure: bench.HMList, Scheme: hpbrcu.HPBRCU, Seed: 5,
+		Schedule: Schedules[0], Workers: 3, Ops: 500, KeyRange: 64,
+		Facade: true, Reaper: true, Watchdog: true,
+	})
+	if !res.Survived() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Stats.PoolCheckouts == 0 {
+		t.Fatal("facade run recorded zero pool checkouts")
+	}
+}
+
 // TestRunBoundReported: an HP-BRCU run reports a positive observed bound
 // and a peak under it.
 func TestRunBoundReported(t *testing.T) {

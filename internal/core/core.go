@@ -318,6 +318,23 @@ func (h *Handle) Unregister() {
 // NewShield creates an HP shield owned by this thread.
 func (h *Handle) NewShield() *hp.Shield { return h.HP.NewShield() }
 
+// Reaped reports whether the lease reaper has confirmed this handle's
+// owner dead and adopted its state (and no resurrection has happened
+// since). Safe from any goroutine; always false for RCU-backed domains,
+// which have no reaper.
+func (h *Handle) Reaped() bool { return h.brcu != nil && h.brcu.Reaped() }
+
+// StampLease refreshes the handle's activity lease so the reaper keeps
+// treating the owner as alive. The handle pool stamps it on checkout and
+// return, so the lease reflects pool activity — a checkout that never
+// returns goes stale and is the reaper's to clean up. No-op for
+// RCU-backed domains or while leases are off.
+func (h *Handle) StampLease() {
+	if h.brcu != nil {
+		h.brcu.StampLease()
+	}
+}
+
 // Retire schedules a node for two-step reclamation (Algorithm 4): first an
 // RCU grace period, then hazard-pointer scanning. It must be called either
 // outside critical sections or inside a Mask region (Defer is

@@ -224,6 +224,11 @@ func (h *ExpeditedHandle) Unregister() { h.lh.Unregister() }
 // Barrier drains reclamation (teardown/tests).
 func (h *ExpeditedHandle) Barrier() { h.lh.Barrier() }
 
+// Core exposes the composed HP-(B)RCU participation record of the shared
+// bucket handle, so the lifecycle layer (handle pool, reaper integration)
+// can reach the lease and reap state of the handle it wraps.
+func (h *ExpeditedHandle) Core() *core.Handle { return h.lh.Core() }
+
 func (h *ExpeditedHandle) rebind(key int64) *hlist.ExpeditedHandle {
 	h.lh.Rebind(h.m.buckets[bucketOf(key, len(h.m.buckets))])
 	return h.lh

@@ -116,6 +116,11 @@ func (l *Expedited) Register() *ExpeditedHandle {
 // Unregister releases the handle.
 func (h *ExpeditedHandle) Unregister() { h.h.Unregister() }
 
+// Core exposes the composed HP-(B)RCU participation record, so the
+// lifecycle layer (handle pool, reaper integration) can reach the lease
+// and reap state of the handle it wraps.
+func (h *ExpeditedHandle) Core() *core.Handle { return h.h }
+
 // Barrier drains reclamation (teardown/tests).
 func (h *ExpeditedHandle) Barrier() { h.h.Barrier() }
 

@@ -103,6 +103,11 @@ func (h *ExpeditedHandle) Unregister() {
 // Barrier drains reclamation (teardown/tests).
 func (h *ExpeditedHandle) Barrier() { h.h.Barrier() }
 
+// Core exposes the composed HP-(B)RCU participation record, so the
+// lifecycle layer (handle pool, reaper integration) can reach the lease
+// and reap state of the handle it wraps.
+func (h *ExpeditedHandle) Core() *core.Handle { return h.h }
+
 // search runs the expedited traversal (Algorithm 8's TrySearch): it
 // returns the protected position of key. ok is false when the operation
 // must be retried (failed revalidation or helping CAS).

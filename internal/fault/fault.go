@@ -99,6 +99,12 @@ const (
 	// shared-memory mutation — exercising the recover barrier's abort
 	// path. The caller panics; this package only decides.
 	SitePanic
+	// SitePoolLeak makes a facade operation leak its pooled handle
+	// checkout: the return path is skipped, simulating a borrower
+	// goroutine that died (or wedged) while holding a checked-out handle.
+	// The pool's leak sweep — backed by the lease reaper — must retire the
+	// slot and restore the capacity. Fired from the facade checkin path.
+	SitePoolLeak
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -108,6 +114,7 @@ var siteNames = [NumSites]string{
 	"poll", "shield", "mask-enter", "mask-exit", "mask-abort",
 	"step-rollback", "advance-storm", "drain-skip",
 	"alloc-stall", "alloc-exhaust", "free-stall", "leak", "panic",
+	"pool-leak",
 }
 
 // String returns the site's name.

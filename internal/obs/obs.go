@@ -107,6 +107,18 @@ const (
 	// EvClose: the domain began its unified shutdown drain; Arg is the
 	// unreclaimed count at that moment.
 	EvClose
+	// EvCheckout: the handle pool lent a registered handle to a facade
+	// operation; Arg is the entry's checkout count so far.
+	EvCheckout
+	// EvReturn: a facade operation returned its pooled handle; Arg is 0
+	// for a clean return into the pool, 1 when the entry was retired
+	// instead (post-Close return, poisoned handle, or a lost leak-sweep
+	// race).
+	EvReturn
+	// EvExhausted: a facade operation gave up acquiring a handle after
+	// the bounded wait and returned ErrHandleExhausted; Arg is the pool's
+	// hard size ceiling.
+	EvExhausted
 
 	numEventKinds
 )
@@ -115,7 +127,7 @@ var eventNames = [numEventKinds]string{
 	"epoch-advance", "forced-advance", "signal", "rollback", "mask-defer",
 	"watchdog-escalate", "broadcast", "drain", "reclaim", "slab-grow",
 	"lease-expire", "quarantine", "adopt", "reap", "throttle", "reject",
-	"panic-recover", "cancel", "close",
+	"panic-recover", "cancel", "close", "checkout", "return", "exhausted",
 }
 
 // String returns the event kind's name.

@@ -1,0 +1,304 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// res is a fake pooled resource with external-reclaim and disposal
+// tracking.
+type res struct {
+	id      int
+	reaped  atomic.Bool
+	retired atomic.Bool
+}
+
+type fixture struct {
+	rec     *stats.Reclamation
+	minted  atomic.Int64
+	retired atomic.Int64
+}
+
+func (f *fixture) config(size int, acquire, leak time.Duration) Config[*res] {
+	return Config[*res]{
+		Size:           size,
+		AcquireTimeout: acquire,
+		LeakTimeout:    leak,
+		Rec:            f.rec,
+		New: func() *res {
+			return &res{id: int(f.minted.Add(1))}
+		},
+		Retire: func(r *res) {
+			if r.retired.Swap(true) {
+				panic("pool_test: resource retired twice")
+			}
+			f.retired.Add(1)
+		},
+		Reaped: func(r *res) bool { return r.reaped.Load() },
+	}
+}
+
+func newFixture() *fixture { return &fixture{rec: &stats.Reclamation{}} }
+
+func TestAcquireReleaseReuses(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(4, time.Millisecond, time.Second))
+	e, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	first := e.Res()
+	p.Release(e)
+	e2, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if e2.Res() != first {
+		t.Fatalf("fast tier did not reuse the returned entry (got #%d, want #%d)", e2.Res().id, first.id)
+	}
+	p.Release(e2)
+	if got := f.minted.Load(); got != 1 {
+		t.Fatalf("minted %d resources for a reuse pattern, want 1", got)
+	}
+}
+
+func TestCeilingAndExhaustion(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(3, 5*time.Millisecond, time.Second))
+	var held []*Entry[*res]
+	for i := 0; i < 3; i++ {
+		e, err := p.Acquire(nil)
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		held = append(held, e)
+	}
+	if _, err := p.Acquire(nil); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Acquire over ceiling: err = %v, want ErrExhausted", err)
+	}
+	if got := f.rec.PoolExhausted.Load(); got != 1 {
+		t.Fatalf("PoolExhausted = %d, want 1", got)
+	}
+	if got := f.minted.Load(); got != 3 {
+		t.Fatalf("minted %d, want the ceiling 3", got)
+	}
+	// A return while a waiter blocks must hand the entry over.
+	done := make(chan error, 1)
+	go func() {
+		e, err := p.Acquire(nil)
+		if err == nil {
+			p.Release(e)
+		}
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	p.Release(held[0])
+	if err := <-done; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	for _, e := range held[1:] {
+		p.Release(e)
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(1, time.Second, time.Second))
+	e, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := p.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	p.Release(e)
+}
+
+func TestLeakReclaimViaReaped(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(1, 2*time.Millisecond, time.Hour))
+	e, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	leaked := e.Res()
+	// Simulate a dead borrower whose handle the lease reaper reclaimed:
+	// the entry is never released, but the safety net marks it.
+	leaked.reaped.Store(true)
+	e2, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire after reap: %v (the sweep should have released the slot)", err)
+	}
+	if e2.Res() == leaked {
+		t.Fatal("pool recycled a reaped resource instead of minting a fresh one")
+	}
+	if got := f.rec.PoolLeaksReclaimed.Load(); got != 1 {
+		t.Fatalf("PoolLeaksReclaimed = %d, want 1", got)
+	}
+	if leaked.retired.Load() {
+		t.Fatal("sweep must never call Retire on a leaked resource")
+	}
+	p.Release(e2)
+}
+
+func TestLeakReclaimViaTimeout(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(1, time.Millisecond, 3*time.Millisecond))
+	if _, err := p.Acquire(nil); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// Never released. First failed Acquire marks it in the sweep; after
+	// LeakTimeout a later sweep retires the slot.
+	_, err := p.Acquire(nil)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("first contended Acquire: err = %v, want ErrExhausted", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err = p.Acquire(nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never reclaimed by timeout sweep: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := f.rec.PoolLeaksReclaimed.Load(); got != 1 {
+		t.Fatalf("PoolLeaksReclaimed = %d, want 1", got)
+	}
+}
+
+func TestLateReturnAfterSweepRetires(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(1, time.Millisecond, time.Hour))
+	e, err := p.Acquire(nil)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	e.Res().reaped.Store(true) // sweep will declare the borrower dead
+	e2, err := p.Acquire(nil)  // triggers the sweep, mints a replacement
+	if err != nil {
+		t.Fatalf("Acquire after reap: %v", err)
+	}
+	// The "dead" borrower turns out alive and returns: it must dispose of
+	// the resource itself, not re-enter the pool.
+	p.Release(e)
+	if !e.Res().retired.Load() {
+		t.Fatal("late return after a sweep retire must dispose the resource")
+	}
+	if got := p.Live(); got != 1 {
+		t.Fatalf("Live = %d after late return, want 1", got)
+	}
+	p.Release(e2)
+}
+
+func TestCloseDrainsToBalancedBooks(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(8, time.Millisecond, time.Second))
+	var held []*Entry[*res]
+	for i := 0; i < 8; i++ {
+		e, err := p.Acquire(nil)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		held = append(held, e)
+	}
+	for _, e := range held[:6] {
+		p.Release(e)
+	}
+	// Two still outstanding: Close must retire the six idle entries and
+	// report the stragglers.
+	left := p.Close(time.Now().Add(10 * time.Millisecond))
+	if left != 2 {
+		t.Fatalf("Close reported %d outstanding, want 2", left)
+	}
+	if got := f.retired.Load(); got != 6 {
+		t.Fatalf("retired %d at Close, want 6", got)
+	}
+	// Stragglers retire themselves on return.
+	p.Release(held[6])
+	p.Release(held[7])
+	if got, want := f.retired.Load(), f.minted.Load(); got != want {
+		t.Fatalf("books unbalanced after stragglers returned: retired %d of %d minted", got, want)
+	}
+	if got := p.Live(); got != 0 {
+		t.Fatalf("Live = %d after full drain, want 0", got)
+	}
+	if _, err := p.Acquire(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Acquire after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCheckoutCountExactAfterClose(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(2, time.Millisecond, time.Second))
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		e, err := p.Acquire(nil)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		p.Release(e)
+	}
+	p.Close(time.Now().Add(time.Second))
+	if got := f.rec.PoolCheckouts.Load(); got != ops {
+		t.Fatalf("PoolCheckouts = %d after Close, want %d", got, ops)
+	}
+}
+
+// TestRaceStress hammers concurrent checkout/return/discard/exhaustion
+// with a pool far smaller than the goroutine count; run with -race.
+func TestRaceStress(t *testing.T) {
+	f := newFixture()
+	p := New(f.config(4, 200*time.Microsecond, 50*time.Millisecond))
+	var wg sync.WaitGroup
+	var served, exhausted atomic.Int64
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				e, err := p.Acquire(nil)
+				if err != nil {
+					if !errors.Is(err, ErrExhausted) {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					exhausted.Add(1)
+					continue
+				}
+				served.Add(1)
+				if i%97 == 13 {
+					p.Discard(e) // unfit handle: retire, capacity re-mints
+				} else {
+					p.Release(e)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if left := p.Close(time.Now().Add(time.Second)); left != 0 {
+		t.Fatalf("Close left %d outstanding after all workers joined", left)
+	}
+	if got, want := f.retired.Load(), f.minted.Load(); got != want {
+		t.Fatalf("books unbalanced: retired %d of %d minted", got, want)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no checkout ever succeeded")
+	}
+	if got := f.rec.PoolCheckouts.Load(); got != served.Load() {
+		t.Fatalf("PoolCheckouts = %d, want %d served", got, served.Load())
+	}
+	t.Logf("served=%d exhausted=%d minted=%d", served.Load(), exhausted.Load(), f.minted.Load())
+}

@@ -127,6 +127,20 @@ type Reclamation struct {
 	// CancelledOps counts operations abandoned by cooperative
 	// cancellation (TraverseCtx/BarrierCtx observing a done context).
 	CancelledOps Counter
+	// PoolCheckouts counts handle checkouts served by the handle pool
+	// (internal/pool). The hot path accumulates per-entry and flushes in
+	// batches, so the counter is exact only after the pool quiesces
+	// (Close) — live reads may lag by up to one flush interval per entry.
+	PoolCheckouts Counter
+	// PoolExhausted counts facade operations refused with
+	// ErrHandleExhausted because every pooled handle stayed checked out
+	// through the bounded acquisition wait.
+	PoolExhausted Counter
+	// PoolLeaksReclaimed counts checkout slots the pool retired because
+	// the borrower never returned them — detected either by the lease
+	// reaper having reaped the handle or by the pool's own leak timeout —
+	// restoring the lost capacity for fresh handles.
+	PoolLeaksReclaimed Counter
 
 	// The histograms below record only while the observability layer
 	// (internal/obs) is enabled; see the Histogram doc comment.
@@ -167,6 +181,9 @@ type Snapshot struct {
 	BackpressureRejects   int64
 	PanicsRecovered       int64
 	CancelledOps          int64
+	PoolCheckouts         int64
+	PoolExhausted         int64
+	PoolLeaksReclaimed    int64
 
 	// Histogram digests; all-zero unless the observability layer was
 	// enabled during the run. Summaries are scalar-only, so Snapshot
@@ -197,6 +214,9 @@ func (r *Reclamation) Snapshot() Snapshot {
 		BackpressureRejects:   r.BackpressureRejects.Load(),
 		PanicsRecovered:       r.PanicsRecovered.Load(),
 		CancelledOps:          r.CancelledOps.Load(),
+		PoolCheckouts:         r.PoolCheckouts.Load(),
+		PoolExhausted:         r.PoolExhausted.Load(),
+		PoolLeaksReclaimed:    r.PoolLeaksReclaimed.Load(),
 
 		PollLag:         r.PollLag.Summary(),
 		CSNanos:         r.CSNanos.Summary(),
@@ -222,6 +242,9 @@ func (r *Reclamation) Reset() {
 	r.BackpressureRejects.Reset()
 	r.PanicsRecovered.Reset()
 	r.CancelledOps.Reset()
+	r.PoolCheckouts.Reset()
+	r.PoolExhausted.Reset()
+	r.PoolLeaksReclaimed.Reset()
 	r.PollLag.Reset()
 	r.CSNanos.Reset()
 	r.GraceNanos.Reset()

@@ -73,11 +73,19 @@ func Close(m Map, timeout time.Duration) error {
 
 func (m *mapImpl) doClose(timeout time.Duration) error {
 	m.closed.Store(true)
+	deadline := time.Now().Add(timeout)
+	// Drain the handle pool first: retiring its idle handles flushes
+	// their deferred batches into the domain-global task set (and sweeps
+	// leaked checkouts), so the domain drain below sees everything the
+	// facade deferred. Outstanding checkouts past the deadline retire
+	// themselves on return — the books still balance, just later.
+	if p := m.hpool.Load(); p != nil {
+		p.Close(deadline)
+	}
 	if m.dom == nil {
 		return nil
 	}
 	m.dom.MarkClosed()
-	deadline := time.Now().Add(timeout)
 	left := m.dom.CloseDrain(deadline)
 	// Stop the services after the drain: the reaper helps it by adopting
 	// orphaned garbage, and stopping first would forfeit that. Their own

@@ -29,9 +29,25 @@ type mapImpl struct {
 	bp     *reap.Backpressure // non-nil when Config.Backpressure enabled
 	rec    bool               // Config.PanicPolicy == PanicRecover
 
+	// The handle pool behind the handle-free facade, created lazily on
+	// the first facade operation (see facade.go). poolCfg is copied from
+	// Config at construction so the lazy init needs no lock on the map's
+	// configuration.
+	poolCfg PoolConfig
+	hpool   atomic.Pointer[handlePool]
+	poolMu  sync.Mutex
+
 	closed    atomic.Bool // Close has begun: stop admitting operations
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// withPool records the facade pool configuration; every constructor
+// chains it (directly or via withDomain) so the handle-free facade works
+// on every scheme.
+func (m *mapImpl) withPool(cfg Config) *mapImpl {
+	m.poolCfg = cfg.Pool
+	return m
 }
 
 func (m *mapImpl) Register() MapHandle {
@@ -72,6 +88,7 @@ func (h pressureHandle) TryInsert(key, val int64) (bool, error) {
 // lease gate — starts before the watchdog goroutine exists, honouring the
 // plain-bool activation contract.
 func (m *mapImpl) withDomain(d *core.Domain, cfg Config) *mapImpl {
+	m.withPool(cfg)
 	m.dom = d
 	m.rec = cfg.PanicPolicy == PanicRecover
 	if cfg.Backpressure.Enabled {
@@ -136,13 +153,13 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 	switch s {
 	case NR:
 		l := hlist.NewNR()
-		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := hlist.NewEBR(cfg.ebrOpts()...)
-		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	case NBR, NBRLarge:
 		l := hlist.NewNBR(cfg.nbrOpts(s == NBRLarge)...)
-		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	case HPRCU:
 		l := hlist.NewHPRCU(cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain(), cfg), nil
@@ -151,7 +168,7 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case VBR:
 		l := vbr.New()
-		return &mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	}
 	name := "HList"
 	if optimisticGet {
@@ -167,13 +184,13 @@ func NewHMList(s Scheme, cfg Config) (Map, error) {
 	switch s {
 	case NR:
 		l := hmlist.NewNR()
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := hmlist.NewEBR(cfg.ebrOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case HP:
 		l := hmlist.NewHP(cfg.hpOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case HPRCU:
 		l := hmlist.NewHPRCU(cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
@@ -194,16 +211,16 @@ func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 	switch s {
 	case NR:
 		m := hashmap.NewNR(buckets)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	case RCU:
 		m := hashmap.NewEBR(buckets, cfg.ebrOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	case HP:
 		m := hashmap.NewHP(buckets, cfg.hpOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	case NBR, NBRLarge:
 		m := hashmap.NewNBR(buckets, cfg.nbrOpts(s == NBRLarge)...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	case HPRCU:
 		m := hashmap.NewHPRCU(buckets, cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain(), cfg), nil
@@ -212,7 +229,7 @@ func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain(), cfg), nil
 	case VBR:
 		m := hashmap.NewVBR(buckets)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	}
 	return nil, &ErrUnsupported{Structure: "HashMap", Scheme: s}
 }
@@ -228,13 +245,13 @@ func NewSkipList(s Scheme, cfg Config) (Map, error) {
 	switch s {
 	case NR:
 		l := skiplist.NewNR()
-		return &mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := skiplist.NewEBR(cfg.ebrOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withPool(cfg), nil
 	case HP:
 		l := skiplist.NewHP(cfg.hpOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case HPRCU:
 		l := skiplist.NewHPRCU(cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withDomain(l.Domain(), cfg), nil
@@ -252,13 +269,13 @@ func NewNMTree(s Scheme, cfg Config) (Map, error) {
 	switch s {
 	case NR:
 		l := nmtree.NewNR()
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := nmtree.NewEBR(cfg.ebrOpts()...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case NBR, NBRLarge:
 		l := nmtree.NewNBR(cfg.nbrOpts(s == NBRLarge)...)
-		return &mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}, nil
+		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case HPRCU:
 		l := nmtree.NewHPRCU(cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withDomain(l.Domain(), cfg), nil

@@ -34,6 +34,7 @@
 package hpbrcu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -147,6 +148,29 @@ type Config struct {
 	// (default) re-raises it, PanicRecover latches it on the handle as a
 	// *PanicError and keeps going. Ignored for every other scheme.
 	PanicPolicy PanicPolicy
+	// Pool tunes the handle pool behind the handle-free facade (the
+	// error-returning Get/Insert/Remove methods on Map); see PoolConfig.
+	// The zero value selects the defaults — the facade needs no opt-in.
+	Pool PoolConfig
+}
+
+// PoolConfig tunes the handle pool behind the handle-free facade (see
+// the Map interface and DESIGN.md §12). Zero fields select the defaults.
+type PoolConfig struct {
+	// Size is the hard ceiling on pooled handles — and thereby the N the
+	// §5 garbage bound scales with, independent of how many goroutines
+	// call the facade. Default 4×GOMAXPROCS.
+	Size int
+	// AcquireTimeout bounds how long a facade operation waits for a
+	// handle when all Size are checked out before failing with
+	// ErrHandleExhausted. Default 1ms.
+	AcquireTimeout time.Duration
+	// LeakTimeout is how long a single checkout may stay out before the
+	// pool's leak sweep retires its slot (the borrower is presumed dead;
+	// the lease reaper, when enabled, recovers the handle's garbage).
+	// Must comfortably exceed the longest legitimate operation. Default
+	// 1s.
+	LeakTimeout time.Duration
 }
 
 // ReaperConfig configures the lease reaper (Config.Reaper). The zero
@@ -248,6 +272,17 @@ type MapHandle interface {
 
 // Map is a concurrent ordered or hashed int64→int64 map protected by one
 // of the reclamation schemes.
+//
+// It can be used two ways. The registered-handle API (Register) gives a
+// long-lived worker goroutine its own accessor — the paper's model, and
+// the fastest path. The handle-free facade (the error-returning methods
+// below) works from any goroutine with zero setup: each operation checks
+// a handle out of an internal pool (Config.Pool), runs, and returns it
+// on every path — including panics and context cancellation. The pool is
+// hard-capped, so the §5 garbage bound scales with the pool size, not
+// the goroutine count; when every handle stays checked out through the
+// bounded wait, operations fail fast with ErrHandleExhausted instead of
+// blocking forever. After Close every facade operation reports ErrClosed.
 type Map interface {
 	// Register creates a thread-local accessor.
 	Register() MapHandle
@@ -255,6 +290,25 @@ type Map interface {
 	Stats() *Stats
 	// Scheme reports which reclamation scheme protects this map.
 	Scheme() Scheme
+
+	// Get returns the value mapped to key, through a pooled handle.
+	Get(key int64) (int64, bool, error)
+	// GetCtx is Get with cooperative cancellation: the context bounds
+	// both the handle acquisition and the lookup itself.
+	GetCtx(ctx context.Context, key int64) (int64, bool, error)
+	// Insert maps key to val (failing if key is present), through a
+	// pooled handle.
+	Insert(key, val int64) (bool, error)
+	// TryInsert is Insert through the backpressure admission gate when
+	// the map has one (see TryInserter); it may additionally fail with
+	// ErrMemoryPressure.
+	TryInsert(key, val int64) (bool, error)
+	// Remove unmaps key, returning the removed value, through a pooled
+	// handle.
+	Remove(key int64) (int64, bool, error)
+	// Barrier makes a best effort to drain deferred reclamation through
+	// a pooled handle.
+	Barrier() error
 }
 
 // TryInserter is implemented by handles of maps with backpressure
