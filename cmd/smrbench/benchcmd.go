@@ -28,16 +28,13 @@ import (
 	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
-// benchRunners maps experiment names to their pipeline entry points.
-var benchRunners = map[string]func(bench.PipelineConfig) *bench.BenchFile{
-	"fig1":   bench.BenchFig1,
-	"fig5":   bench.BenchFig5,
-	"table2": bench.BenchTable2,
-	"pool":   bench.BenchPool,
+// experimentHint lists the valid experiment names for flag help and
+// error messages, derived from the bench registry so it cannot go stale
+// (a hardcoded predecessor said "want fig1, fig5 or table2" long after
+// the pool experiment landed).
+func experimentHint() string {
+	return strings.Join(bench.ExperimentNames(), ", ")
 }
-
-// benchOrder fixes the run order (map iteration would shuffle it).
-var benchOrder = []string{"fig1", "fig5", "table2", "pool"}
 
 func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -46,7 +43,7 @@ func runBench(args []string) {
 	outDir := fs.String("out", ".", "directory to write BENCH_<experiment>.json into")
 	baselines := fs.String("baseline", "", "comma-separated baseline BENCH_*.json files; compare instead of overwriting, exit nonzero on regression")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional throughput drop vs baseline; >=1 skips throughput checks (cross-machine CI) but memory bounds still gate")
-	experiments := fs.String("experiments", "", "comma-separated subset of fig1,fig5,table2,pool (default: all, or the baselines' experiments)")
+	experiments := fs.String("experiments", "", "comma-separated subset of "+experimentHint()+" (default: all, or the baselines' experiments)")
 	schemeList := fs.String("schemes", "", "comma-separated scheme filter (committed baselines use the full set)")
 	fs.Parse(args)
 
@@ -78,8 +75,8 @@ func runBench(args []string) {
 			if err != nil {
 				fatalArg(fmt.Errorf("bench: %w", err))
 			}
-			if _, ok := benchRunners[f.Experiment]; !ok {
-				fatalArg(fmt.Errorf("bench: %s names unknown experiment %q", path, f.Experiment))
+			if _, ok := bench.RunnerFor(f.Experiment); !ok {
+				fatalArg(fmt.Errorf("bench: %s names unknown experiment %q (want %s)", path, f.Experiment, experimentHint()))
 			}
 			if _, dup := base[f.Experiment]; dup {
 				fatalArg(fmt.Errorf("bench: duplicate baseline for experiment %q (%s)", f.Experiment, path))
@@ -93,8 +90,8 @@ func runBench(args []string) {
 	case *experiments != "":
 		for _, name := range strings.Split(*experiments, ",") {
 			name = strings.TrimSpace(name)
-			if _, ok := benchRunners[name]; !ok {
-				fatalArg(fmt.Errorf("bench: unknown experiment %q (want fig1, fig5 or table2)", name))
+			if _, ok := bench.RunnerFor(name); !ok {
+				fatalArg(fmt.Errorf("bench: unknown experiment %q (want %s)", name, experimentHint()))
 			}
 			selected[name] = true
 		}
@@ -103,23 +100,27 @@ func runBench(args []string) {
 			selected[name] = true
 		}
 	default:
-		for name := range benchRunners {
+		for _, name := range bench.ExperimentNames() {
 			selected[name] = true
 		}
 	}
 
 	failed := false
-	for _, name := range benchOrder {
+	for _, name := range bench.ExperimentNames() {
 		if !selected[name] {
 			continue
 		}
+		runner, _ := bench.RunnerFor(name)
 		t0 := time.Now()
-		cur := benchRunners[name](cfg)
+		cur := runner(cfg)
 		fmt.Fprintf(os.Stderr, "bench: %s: %d points in %v\n",
 			name, len(cur.Points), time.Since(t0).Truncate(time.Millisecond))
 
 		if b, ok := base[name]; ok {
-			problems := bench.Compare(b, cur, *tolerance)
+			problems, warnings := bench.Compare(b, cur, *tolerance)
+			for _, w := range warnings {
+				fmt.Printf("bench %s: warning: %s\n", name, w)
+			}
 			if len(problems) == 0 {
 				fmt.Printf("bench %s: OK (%d points within tolerance %.0f%%, bounds hold)\n",
 					name, len(cur.Points), *tolerance*100)

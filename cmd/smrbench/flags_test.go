@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/bench"
 )
 
 func TestParseThreadCounts(t *testing.T) {
@@ -138,5 +139,21 @@ func TestParseSchemesCoversAll(t *testing.T) {
 		if err != nil || len(got) != 1 || got[0] != s {
 			t.Errorf("scheme %v does not round-trip: %v, %v", s, got, err)
 		}
+	}
+}
+
+// TestExperimentHintDerivedFromRegistry pins the stale-message bugfix:
+// the unknown-experiment error's hint is derived from the bench
+// registry, so every registered experiment — including pool, which a
+// hardcoded predecessor of the hint omitted — appears in it.
+func TestExperimentHintDerivedFromRegistry(t *testing.T) {
+	hint := experimentHint()
+	for _, name := range bench.ExperimentNames() {
+		if !strings.Contains(hint, name) {
+			t.Errorf("experiment hint %q omits registered experiment %q", hint, name)
+		}
+	}
+	if !strings.Contains(hint, "pool") {
+		t.Errorf("experiment hint %q omits pool (the regression that motivated deriving it)", hint)
 	}
 }

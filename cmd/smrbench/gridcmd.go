@@ -1,0 +1,154 @@
+package main
+
+// The `smrbench grid` subcommand: the declarative experiment-grid
+// runner. It executes the grid committed in experiments.json — every
+// experiment point measured -repeats times after warmup runs — and
+// aggregates each point's throughput into a schema-2 report
+// (mean/std/min/max), emitting BENCH_*.json plus CSV and a markdown
+// table suitable for pasting into EXPERIMENTS.md:
+//
+//	smrbench grid                      # run experiments.json, write BENCH_*.json + GRID.csv/GRID.md
+//	smrbench grid -repeats 3 -out /tmp # more repeats, elsewhere
+//	smrbench grid -trajectory          # compare vs committed baselines instead of overwriting
+//
+// -trajectory mode diffs the fresh grid against the committed
+// baselines (BENCH_<experiment>.json in -baseline-dir) and prints a
+// per-point delta report: improved / regressed / unchanged, with each
+// point's own ±2σ noise band (std-aware, so run-to-run jitter is never
+// reported as movement). The gate exits nonzero on any §5 memory-bound
+// violation or shrunk point coverage at every tolerance, and
+// additionally on regressed points when -tolerance < 1 (same-machine
+// mode); tolerance ≥ 1 keeps the cross-machine semantics CI uses. See
+// DESIGN.md §13.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/bench"
+	"github.com/smrgo/hpbrcu/internal/obs"
+)
+
+func runGrid(args []string) {
+	fs := flag.NewFlagSet("grid", flag.ExitOnError)
+	config := fs.String("config", "experiments.json", "grid declaration to execute")
+	repeats := fs.Int("repeats", 0, "measured runs per point (0 = the spec's, default 3)")
+	warmup := fs.Int("warmup", -1, "discarded warmup runs per experiment (-1 = the spec's, default 1)")
+	dur := fs.Duration("duration", 0, "measurement time per point (0 = the spec's)")
+	seed := fs.Uint64("seed", 0, "workload seed (0 = the spec's)")
+	outDir := fs.String("out", ".", "directory to write BENCH_<experiment>.json, GRID.csv and GRID.md into")
+	schemeList := fs.String("schemes", "", "comma-separated scheme filter on top of the spec's")
+	trajectory := fs.Bool("trajectory", false, "diff against committed baselines instead of overwriting them")
+	baseDir := fs.String("baseline-dir", ".", "directory holding the baseline BENCH_*.json for -trajectory")
+	tolerance := fs.Float64("tolerance", 0.15, "trajectory noise floor and throughput gate; >=1 = cross-machine mode (regressions informational, bounds and coverage still gate)")
+	fs.Parse(args)
+
+	spec, err := bench.LoadGrid(*config)
+	if err != nil {
+		fatalArg(fmt.Errorf("grid: %w", err))
+	}
+	opts := bench.GridOptions{
+		Repeats: *repeats, Warmup: *warmup, Duration: *dur, Seed: *seed,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	}
+	if *schemeList != "" {
+		sel, err := parseSchemes(*schemeList)
+		if err != nil {
+			fatalArg(err)
+		}
+		opts.Schemes = sel
+	}
+
+	// As in `smrbench bench`: the critical-section histograms only record
+	// while the obs layer is on, and the committed baselines are measured
+	// with it on, so the overhead cancels out of every comparison.
+	if !obs.On {
+		obs.Activate(obs.NewCollector(obs.DefaultRingSize))
+	}
+
+	t0 := time.Now()
+	files, err := bench.RunGrid(spec, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "grid: %d experiments in %v\n", len(files), time.Since(t0).Truncate(time.Millisecond))
+
+	if !*trajectory {
+		for _, f := range files {
+			path := filepath.Join(*outDir, "BENCH_"+f.Experiment+".json")
+			if err := bench.WriteReport(path, f); err != nil {
+				fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("grid %s: wrote %s (%d points × %d repeats)\n", f.Experiment, path, len(f.Points), f.Repeats)
+		}
+		csvPath := filepath.Join(*outDir, "GRID.csv")
+		if err := os.WriteFile(csvPath, []byte(bench.GridCSV(files)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			os.Exit(1)
+		}
+		mdPath := filepath.Join(*outDir, "GRID.md")
+		if err := os.WriteFile(mdPath, []byte(bench.GridMarkdown(files)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("grid: wrote %s and %s\n", csvPath, mdPath)
+		return
+	}
+
+	// Trajectory mode: never overwrites; every experiment in the grid
+	// must have a committed baseline to diff against.
+	floor := *tolerance
+	if floor >= 1 {
+		floor = 0.05
+	}
+	failed := false
+	for _, f := range files {
+		path := filepath.Join(*baseDir, "BENCH_"+f.Experiment+".json")
+		base, err := bench.ReadReport(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", err)
+			os.Exit(1)
+		}
+		problems, warnings := bench.Compare(base, f, *tolerance)
+		rows := bench.Trajectory(base, f, floor)
+		var improved, regressed, unchanged int
+		for _, r := range rows {
+			switch r.Verdict {
+			case bench.TrajImproved:
+				improved++
+			case bench.TrajRegressed:
+				regressed++
+			case bench.TrajUnchanged:
+				unchanged++
+			}
+		}
+		fmt.Println(bench.TrajectoryMarkdown(f.Experiment, rows))
+		for _, w := range warnings {
+			fmt.Printf("  warning: %s\n", w)
+		}
+		if *tolerance < 1 && regressed > 0 {
+			problems = append(problems, fmt.Sprintf("%s: %d point(s) regressed beyond their noise band", f.Experiment, regressed))
+		}
+		if len(problems) == 0 {
+			fmt.Printf("grid %s: OK (%d improved, %d unchanged, %d regressed; bounds hold, coverage intact)\n\n",
+				f.Experiment, improved, unchanged, regressed)
+			continue
+		}
+		failed = true
+		fmt.Printf("grid %s: FAIL\n", f.Experiment)
+		for _, p := range problems {
+			fmt.Printf("  %s\n", p)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

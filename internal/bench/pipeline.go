@@ -1,11 +1,15 @@
 package bench
 
-// The benchmark-regression pipeline behind `smrbench bench`: fixed-seed
-// renditions of the paper's fig1 / fig5 / table2 workloads that produce
-// BenchFile reports instead of console tables. Thread counts are pinned
-// (not scaled to GOMAXPROCS) so the committed BENCH_*.json stay
-// point-compatible across machines — Compare checks coverage by
-// (workload, scheme) key.
+// The benchmark-regression pipeline behind `smrbench bench` and the
+// experiment-grid runner behind `smrbench grid`: fixed-seed renditions
+// of the paper's fig1 / fig5 / table2 workloads (plus the facade's pool
+// workload) that produce BenchFile reports instead of console tables.
+// Thread counts are pinned (not scaled to GOMAXPROCS) so the committed
+// BENCH_*.json stay point-compatible across machines — Compare checks
+// coverage by (workload, scheme) key. The per-experiment sweep knobs
+// (key-range exponents, thread count, pool ceilings, writer count) are
+// overridable so experiments.json can declare narrower or wider grids
+// without forking the pipelines.
 
 import (
 	"fmt"
@@ -14,7 +18,7 @@ import (
 	hpbrcu "github.com/smrgo/hpbrcu"
 )
 
-// PipelineConfig configures one BenchFig*/BenchTable* pipeline run.
+// PipelineConfig configures one Bench* pipeline run.
 type PipelineConfig struct {
 	// Seed is the workload seed (DefaultBenchSeed when zero).
 	Seed uint64
@@ -22,6 +26,20 @@ type PipelineConfig struct {
 	Duration time.Duration
 	// Schemes restricts the scheme sweep; nil runs hpbrcu.Schemes.
 	Schemes []hpbrcu.Scheme
+
+	// Sweep overrides (zero values keep each experiment's committed
+	// default, so a zero PipelineConfig reproduces the baselines):
+
+	// KeyRangeExps overrides fig1's key-range exponents.
+	KeyRangeExps []int
+	// Threads overrides fig5's pinned thread count.
+	Threads int
+	// PoolSizes overrides the pool experiment's ceiling sweep.
+	PoolSizes []int
+	// Writers overrides table2's writer count.
+	Writers int
+	// KeyRange overrides table2's key range.
+	KeyRange int64
 }
 
 func (c *PipelineConfig) normalize() {
@@ -33,6 +51,21 @@ func (c *PipelineConfig) normalize() {
 	}
 	if c.Schemes == nil {
 		c.Schemes = hpbrcu.Schemes
+	}
+	if len(c.KeyRangeExps) == 0 {
+		c.KeyRangeExps = fig1Exps
+	}
+	if c.Threads <= 0 {
+		c.Threads = fig5Threads
+	}
+	if len(c.PoolSizes) == 0 {
+		c.PoolSizes = poolSizes
+	}
+	if c.Writers <= 0 {
+		c.Writers = 2
+	}
+	if c.KeyRange <= 0 {
+		c.KeyRange = 256
 	}
 }
 
@@ -46,8 +79,39 @@ func (c *PipelineConfig) file(experiment string) *BenchFile {
 	}
 }
 
-// fig1Exps are the key-range exponents of the fig1 sweep (list length is
-// KeyRange/2, so these span ~128–4096-element traversals).
+// experimentOrder fixes the canonical experiment order for runs, error
+// messages and emitted tables; experimentRunners must cover exactly
+// this set (pinned by TestExperimentRegistry).
+var experimentOrder = []string{"fig1", "fig5", "table2", "pool"}
+
+// experimentRunners maps experiment names to their pipeline entry
+// points — the single registry `smrbench bench`, the grid runner and
+// experiments.json validation all resolve names through, so adding an
+// experiment here is the whole wiring job (a hardcoded copy of this
+// list in cmd/smrbench once went stale and omitted pool from its error
+// message).
+var experimentRunners = map[string]func(PipelineConfig) *BenchFile{
+	"fig1":   BenchFig1,
+	"fig5":   BenchFig5,
+	"table2": BenchTable2,
+	"pool":   BenchPool,
+}
+
+// ExperimentNames returns the pipeline experiments in canonical order.
+func ExperimentNames() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// RunnerFor resolves an experiment name to its pipeline entry point.
+func RunnerFor(name string) (func(PipelineConfig) *BenchFile, bool) {
+	f, ok := experimentRunners[name]
+	return f, ok
+}
+
+// fig1Exps are the default key-range exponents of the fig1 sweep (list
+// length is KeyRange/2, so these span ~128–4096-element traversals).
 var fig1Exps = []int{8, 9, 10, 11, 12, 13}
 
 // BenchFig1 measures the long-running-operation workload (Figure 1):
@@ -57,7 +121,7 @@ var fig1Exps = []int{8, 9, 10, 11, 12, 13}
 func BenchFig1(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("fig1")
-	for _, e := range fig1Exps {
+	for _, e := range cfg.KeyRangeExps {
 		workload := fmt.Sprintf("keys=2^%02d", e)
 		for _, s := range cfg.Schemes {
 			res := RunLongScan(LongScanConfig{
@@ -78,9 +142,11 @@ func BenchFig1(cfg PipelineConfig) *BenchFile {
 	return f
 }
 
+// fig5Threads is fig5's default pinned thread count.
+const fig5Threads = 4
+
 // fig5Parts mirrors cmd/smrbench's fig5: read-only sweeps over the two
-// Figure 5 structures at their (scaled) key ranges, at a pinned thread
-// count of four.
+// Figure 5 structures at their (scaled) key ranges.
 var fig5Parts = []struct {
 	st       Structure
 	keyRange int64
@@ -95,13 +161,13 @@ func BenchFig5(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("fig5")
 	for _, part := range fig5Parts {
-		workload := fmt.Sprintf("%s/keys=%d/threads=4", part.st, part.keyRange)
+		workload := fmt.Sprintf("%s/keys=%d/threads=%d", part.st, part.keyRange, cfg.Threads)
 		for _, s := range cfg.Schemes {
 			if !Supported(part.st, s) {
 				continue
 			}
 			res := RunMixed(MixedConfig{
-				Structure: part.st, Scheme: s, Threads: 4,
+				Structure: part.st, Scheme: s, Threads: cfg.Threads,
 				KeyRange: part.keyRange, Mix: ReadOnly,
 				Duration: cfg.Duration, Seed: cfg.Seed,
 			})
@@ -118,7 +184,8 @@ func BenchFig5(cfg PipelineConfig) *BenchFile {
 	return f
 }
 
-// poolSizes is the facade pool-ceiling sweep of the pool pipeline.
+// poolSizes is the default facade pool-ceiling sweep of the pool
+// pipeline.
 var poolSizes = []int{4, 16, 64}
 
 // BenchPool measures the transient-goroutine facade workload: every
@@ -130,7 +197,7 @@ var poolSizes = []int{4, 16, 64}
 func BenchPool(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("pool")
-	for _, size := range poolSizes {
+	for _, size := range cfg.PoolSizes {
 		workload := fmt.Sprintf("transient/pool=%02d/spawners=4", size)
 		for _, s := range cfg.Schemes {
 			if !Supported(HList, s) {
@@ -145,6 +212,7 @@ func BenchPool(cfg PipelineConfig) *BenchFile {
 				Scheme:          s.String(),
 				OpsPerSec:       res.Throughput(),
 				PeakUnreclaimed: res.PeakUnreclaimed,
+				P99CSNanos:      res.CSP99,
 				Bound:           -1,
 			})
 		}
@@ -159,12 +227,14 @@ func BenchPool(cfg PipelineConfig) *BenchFile {
 func BenchTable2(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("table2")
+	workload := fmt.Sprintf("stall/writers=%d/keys=%d", cfg.Writers, cfg.KeyRange)
 	for _, s := range cfg.Schemes {
 		res := RunStalled(StallConfig{
-			Scheme: s, Writers: 2, KeyRange: 256, Duration: cfg.Duration,
+			Scheme: s, Writers: cfg.Writers, KeyRange: cfg.KeyRange,
+			Duration: cfg.Duration, Seed: cfg.Seed,
 		})
 		f.Points = append(f.Points, BenchPoint{
-			Workload:        "stall/writers=2/keys=256",
+			Workload:        workload,
 			Scheme:          s.String(),
 			OpsPerSec:       res.WriterThroughput(),
 			PeakUnreclaimed: res.PeakUnreclaimed,

@@ -16,8 +16,19 @@ import (
 )
 
 // ReportSchema versions the BENCH_*.json layout; Compare refuses files
-// from a different schema instead of misreading them.
-const ReportSchema = 1
+// from an unknown schema instead of misreading them. Schema 2 added the
+// grid runner's aggregation fields (per-point ops_stats, file-level
+// repeats/warmup); schema-1 files carry none of them and stay readable —
+// Compare and the trajectory diff fall back to single-run semantics for
+// them.
+const ReportSchema = 2
+
+// reportSchemaV1 is the pre-grid single-run layout, still accepted on
+// read so committed history and external baselines keep working.
+const reportSchemaV1 = 1
+
+// schemaKnown reports whether s is a layout this code can interpret.
+func schemaKnown(s int) bool { return s == reportSchemaV1 || s == ReportSchema }
 
 // DefaultBenchSeed seeds the pipeline workloads unless -seed overrides it.
 // Fixed so that two runs of the same binary draw identical operation
@@ -66,14 +77,33 @@ type BenchPoint struct {
 	// not evaluate it. Compare fails any point with
 	// PeakUnreclaimed > Bound ≥ 0 regardless of tolerance.
 	Bound int64 `json:"bound"`
+	// Ops aggregates throughput across grid repeats (schema ≥ 2, grid
+	// runs only); nil in schema-1 files and single-run reports. When
+	// set, OpsPerSec equals Ops.Mean.
+	Ops *PointStats `json:"ops_stats,omitempty"`
+}
+
+// PointStats is the per-point throughput aggregate the grid runner
+// computes over its repeats. Std is the population standard deviation —
+// the trajectory diff treats ±2·Std as the point's noise band.
+type PointStats struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
 }
 
 // BenchFile is one experiment's report — the unit BENCH_*.json stores.
 type BenchFile struct {
-	Experiment  string       `json:"experiment"` // fig1 | fig5 | table2
-	Schema      int          `json:"schema"`
-	Seed        uint64       `json:"seed"`
-	DurationMS  int64        `json:"duration_ms"`
+	Experiment string `json:"experiment"` // an ExperimentNames entry
+	Schema     int    `json:"schema"`
+	Seed       uint64 `json:"seed"`
+	DurationMS int64  `json:"duration_ms"`
+	// Repeats and Warmup record the grid aggregation that produced the
+	// file: Repeats measured runs per point (0 or 1 = single-run file)
+	// after Warmup discarded runs.
+	Repeats     int          `json:"repeats,omitempty"`
+	Warmup      int          `json:"warmup,omitempty"`
 	Environment Environment  `json:"environment"`
 	Points      []BenchPoint `json:"points"`
 }
@@ -111,10 +141,10 @@ func ReadReport(path string) (*BenchFile, error) {
 	return &f, nil
 }
 
-// Compare checks current against baseline and returns one message per
+// Compare checks current against baseline and returns one problem per
 // violation (empty means the gate passes):
 //
-//   - schema or experiment mismatch;
+//   - an unknown schema on either side, or an experiment mismatch;
 //   - a baseline point missing from current (coverage must not shrink);
 //   - current throughput below baseline·(1-tolerance) — skipped entirely
 //     when tolerance ≥ 1, the cross-machine mode CI uses, since absolute
@@ -122,19 +152,28 @@ func ReadReport(path string) (*BenchFile, error) {
 //   - any current point whose PeakUnreclaimed exceeds its §5 bound —
 //     always checked, at every tolerance: the bound is the paper's
 //     robustness claim, not a performance preference.
-func Compare(baseline, current *BenchFile, tolerance float64) []string {
-	var problems []string
-	if baseline.Schema != ReportSchema {
-		problems = append(problems, fmt.Sprintf("baseline schema %d, want %d (regenerate the baseline)", baseline.Schema, ReportSchema))
-		return problems
+//
+// Schema-1 and schema-2 files mix freely: a v1 baseline gates a v2 grid
+// run and vice versa, so regenerating baselines is never forced by a
+// schema bump alone.
+//
+// warnings carries non-fatal findings: points present in current but
+// absent from baseline. A renamed workload shows up as a missing-point
+// problem AND a new-point warning — without the warning the rename's
+// new half would pass silently and the coverage loss would look like a
+// deleted point rather than a rename.
+func Compare(baseline, current *BenchFile, tolerance float64) (problems, warnings []string) {
+	if !schemaKnown(baseline.Schema) {
+		problems = append(problems, fmt.Sprintf("baseline schema %d, want %d or %d (regenerate the baseline)", baseline.Schema, reportSchemaV1, ReportSchema))
+		return problems, nil
 	}
-	if current.Schema != ReportSchema {
-		problems = append(problems, fmt.Sprintf("current schema %d, want %d", current.Schema, ReportSchema))
-		return problems
+	if !schemaKnown(current.Schema) {
+		problems = append(problems, fmt.Sprintf("current schema %d, want %d or %d", current.Schema, reportSchemaV1, ReportSchema))
+		return problems, nil
 	}
 	if baseline.Experiment != current.Experiment {
 		problems = append(problems, fmt.Sprintf("experiment mismatch: baseline %q vs current %q", baseline.Experiment, current.Experiment))
-		return problems
+		return problems, nil
 	}
 
 	type key struct{ workload, scheme string }
@@ -142,7 +181,9 @@ func Compare(baseline, current *BenchFile, tolerance float64) []string {
 	for _, p := range current.Points {
 		idx[key{p.Workload, p.Scheme}] = p
 	}
+	baseIdx := make(map[key]bool, len(baseline.Points))
 	for _, b := range baseline.Points {
+		baseIdx[key{b.Workload, b.Scheme}] = true
 		cur, ok := idx[key{b.Workload, b.Scheme}]
 		if !ok {
 			problems = append(problems, fmt.Sprintf("%s: point %s/%s present in baseline but missing from current run",
@@ -158,10 +199,14 @@ func Compare(baseline, current *BenchFile, tolerance float64) []string {
 		}
 	}
 	for _, p := range current.Points {
+		if !baseIdx[key{p.Workload, p.Scheme}] {
+			warnings = append(warnings, fmt.Sprintf("%s: point %s/%s is new (not in baseline) — a rename, or coverage the baseline predates; regenerate the baseline to adopt it",
+				current.Experiment, p.Workload, p.Scheme))
+		}
 		if p.Bound >= 0 && p.PeakUnreclaimed > p.Bound {
 			problems = append(problems, fmt.Sprintf("%s: %s/%s violates the §5 memory bound: peak %d > bound %d",
 				current.Experiment, p.Workload, p.Scheme, p.PeakUnreclaimed, p.Bound))
 		}
 	}
-	return problems
+	return problems, warnings
 }

@@ -56,42 +56,64 @@ func TestCompare(t *testing.T) {
 		current   *BenchFile
 		tolerance float64
 		wantFail  string // substring of a problem message; "" = must pass
+		wantWarn  string // substring of a warning message; "" = no warnings
 	}{
-		{"identical run passes", sampleFile(), 0.15, ""},
+		{"identical run passes", sampleFile(), 0.15, "", ""},
 		{"small dip within tolerance passes", mutate(func(c *BenchFile) {
 			c.Points[0].OpsPerSec = 900 // -10% < 15%
-		}), 0.15, ""},
+		}), 0.15, "", ""},
 		{"regression beyond tolerance fails", mutate(func(c *BenchFile) {
 			c.Points[0].OpsPerSec = 500 // -50%
-		}), 0.15, "throughput regressed"},
+		}), 0.15, "throughput regressed", ""},
 		{"tolerance >= 1 skips throughput checks", mutate(func(c *BenchFile) {
 			c.Points[0].OpsPerSec = 1 // collapse, but cross-machine mode
-		}), 2, ""},
+		}), 2, "", ""},
 		{"missing point fails coverage", mutate(func(c *BenchFile) {
 			c.Points = c.Points[:2]
-		}), 0.15, "missing from current run"},
-		{"extra point is not a failure", mutate(func(c *BenchFile) {
+		}), 0.15, "missing from current run", ""},
+		{"extra point passes with a new-point warning", mutate(func(c *BenchFile) {
 			c.Points = append(c.Points, BenchPoint{Workload: "keys=2^10", Scheme: "NR", OpsPerSec: 1, Bound: -1})
-		}), 0.15, ""},
+		}), 0.15, "", "keys=2^10/NR is new"},
+		{"renamed workload fails coverage AND warns", mutate(func(c *BenchFile) {
+			c.Points[1].Workload = "keys=2^08-renamed" // old NR point gone, new name appears
+		}), 0.15, "missing from current run", "keys=2^08-renamed/NR is new"},
 		{"bound violation fails at any tolerance", mutate(func(c *BenchFile) {
 			c.Points[2].PeakUnreclaimed = 101 // bound is 100
-		}), 2, "violates the §5 memory bound"},
+		}), 2, "violates the §5 memory bound", ""},
 		{"peak equal to bound passes", mutate(func(c *BenchFile) {
 			c.Points[2].PeakUnreclaimed = 100
-		}), 0.15, ""},
+		}), 0.15, "", ""},
 		{"unbounded scheme never bound-fails", mutate(func(c *BenchFile) {
 			c.Points[0].PeakUnreclaimed = 1 << 40 // Bound -1
-		}), 0.15, ""},
-		{"schema mismatch fails", mutate(func(c *BenchFile) {
+		}), 0.15, "", ""},
+		{"unknown schema fails", mutate(func(c *BenchFile) {
 			c.Schema = ReportSchema + 1
-		}), 0.15, "schema"},
+		}), 0.15, "schema", ""},
+		{"schema-1 current accepted", mutate(func(c *BenchFile) {
+			c.Schema = reportSchemaV1
+		}), 0.15, "", ""},
 		{"experiment mismatch fails", mutate(func(c *BenchFile) {
 			c.Experiment = "fig5"
-		}), 0.15, "experiment mismatch"},
+		}), 0.15, "experiment mismatch", ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			problems := Compare(sampleFile(), tc.current, tc.tolerance)
+			problems, warnings := Compare(sampleFile(), tc.current, tc.tolerance)
+			if tc.wantWarn == "" {
+				if len(warnings) != 0 {
+					t.Fatalf("want no warnings, got %v", warnings)
+				}
+			} else {
+				found := false
+				for _, w := range warnings {
+					if strings.Contains(w, tc.wantWarn) {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("want a warning containing %q, got %v", tc.wantWarn, warnings)
+				}
+			}
 			if tc.wantFail == "" {
 				if len(problems) != 0 {
 					t.Fatalf("want pass, got problems: %v", problems)
@@ -174,8 +196,9 @@ func TestPipelineSmoke(t *testing.T) {
 	if hpb.Bound < 0 {
 		t.Fatal("HP-BRCU point carries no §5 bound")
 	}
-	if problems := Compare(f, f, 0.15); len(problems) != 0 {
-		t.Fatalf("self-comparison failed: %v", problems)
+	problems, warnings := Compare(f, f, 0.15)
+	if len(problems) != 0 || len(warnings) != 0 {
+		t.Fatalf("self-comparison failed: %v (warnings %v)", problems, warnings)
 	}
 	if hpb.PeakUnreclaimed > hpb.Bound {
 		t.Fatalf("fresh run violates its own bound: peak %d > %d", hpb.PeakUnreclaimed, hpb.Bound)

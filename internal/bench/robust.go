@@ -33,6 +33,10 @@ type StallResult struct {
 	// WriterOps counts completed writer operations (the stall experiment's
 	// throughput axis in BENCH_table2.json).
 	WriterOps int64
+	// Seed is the workload seed the writers actually drew from
+	// (StallConfig.Seed after zero-defaulting) — the value report
+	// headers may honestly stamp as the run's seed.
+	Seed uint64
 	// CSP99 is the 99th-percentile critical-section length in nanoseconds
 	// (recorded only while the obs layer is active).
 	CSP99 int64
@@ -55,6 +59,11 @@ type StallConfig struct {
 	KeyRange int64
 	Duration time.Duration
 	Config   hpbrcu.Config
+	// Seed seeds the writers' key/leak schedules (DefaultBenchSeed when
+	// zero). Before it existed, BenchTable2 stamped its config seed into
+	// the report header while the writers drew from fixed per-worker
+	// seeds — the header claimed a determinism knob the run ignored.
+	Seed uint64
 	// LeakRate is the fraction of writers ([0,1]) that leak: they stop
 	// without Unregister or Barrier, abandoning their handles mid-churn —
 	// the goroutine-death experiment behind `smrbench -leak-rate`.
@@ -70,6 +79,9 @@ func RunStalled(cfg StallConfig) StallResult {
 	}
 	if cfg.KeyRange == 0 {
 		cfg.KeyRange = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultBenchSeed
 	}
 
 	type churnHandle interface {
@@ -194,7 +206,7 @@ func RunStalled(cfg StallConfig) StallResult {
 			if !leak {
 				defer h.Unregister()
 			}
-			rng := atomicx.NewRand(uint64(w) + 1)
+			rng := atomicx.NewRand(stallWorkerSeed(cfg.Seed, w))
 			ops := int64(0)
 			defer func() { writerOps.Add(ops) }()
 			for !stop.Load() {
@@ -241,7 +253,15 @@ func RunStalled(cfg StallConfig) StallResult {
 		Reaped:          s.ReapedHandles,
 		Unreclaimed:     s.Unreclaimed,
 		WriterOps:       writerOps.Load(),
+		Seed:            cfg.Seed,
 		CSP99:           s.CSNanos.P99,
 		Elapsed:         elapsed,
 	}
+}
+
+// stallWorkerSeed derives writer w's rng seed from the run seed, in a
+// stream disjoint from mixedWorkerSeed's so the stall and mixed
+// workloads never share schedules at equal seeds.
+func stallWorkerSeed(seed uint64, w int) uint64 {
+	return (seed^0x57a11ed)*1_000_003 + uint64(w) + 1
 }

@@ -40,6 +40,11 @@ type TransientResult struct {
 	Elapsed         time.Duration
 	PeakUnreclaimed int64
 	Checkouts       int64
+	// CSP99 is the 99th-percentile critical-section length in nanoseconds
+	// (recorded only while the obs layer is active; 0 for schemes without
+	// instrumented sections). Every pipeline experiment reports it —
+	// BENCH_pool.json silently carried 0 until this field existed.
+	CSP99 int64
 }
 
 // Throughput returns completed operations per second.
@@ -124,6 +129,7 @@ func RunTransient(cfg TransientConfig) TransientResult {
 		Elapsed:         elapsed,
 		PeakUnreclaimed: s.PeakUnreclaimed,
 		Checkouts:       s.PoolCheckouts,
+		CSP99:           s.CSNanos.P99,
 	}
 	hpbrcu.Close(m, time.Second)
 	return res
