@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/bench"
@@ -41,6 +42,7 @@ func runGrid(args []string) {
 	seed := fs.Uint64("seed", 0, "workload seed (0 = the spec's)")
 	outDir := fs.String("out", ".", "directory to write BENCH_<experiment>.json, GRID.csv and GRID.md into")
 	schemeList := fs.String("schemes", "", "comma-separated scheme filter on top of the spec's")
+	expList := fs.String("experiments", "", "comma-separated experiment filter (run only these entries of the spec)")
 	trajectory := fs.Bool("trajectory", false, "diff against committed baselines instead of overwriting them")
 	baseDir := fs.String("baseline-dir", ".", "directory holding the baseline BENCH_*.json for -trajectory")
 	tolerance := fs.Float64("tolerance", 0.15, "trajectory noise floor and throughput gate; >=1 = cross-machine mode (regressions informational, bounds and coverage still gate)")
@@ -49,6 +51,33 @@ func runGrid(args []string) {
 	spec, err := bench.LoadGrid(*config)
 	if err != nil {
 		fatalArg(fmt.Errorf("grid: %w", err))
+	}
+	if *expList != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*expList, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			found := false
+			for _, e := range spec.Experiments {
+				if e.Name == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fatalArg(fmt.Errorf("grid: -experiments: %q is not in %s", n, *config))
+			}
+			want[n] = true
+		}
+		var kept []bench.GridExperiment
+		for _, e := range spec.Experiments {
+			if want[e.Name] {
+				kept = append(kept, e)
+			}
+		}
+		spec.Experiments = kept
 	}
 	opts := bench.GridOptions{
 		Repeats: *repeats, Warmup: *warmup, Duration: *dur, Seed: *seed,

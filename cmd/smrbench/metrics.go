@@ -2,7 +2,9 @@ package main
 
 // The live observability endpoints of smrbench: with -metrics (and/or
 // -watch) the internal/obs layer is switched on for the whole process,
-// every measurement registers itself as the "current run", and
+// every measurement registers itself as the "current run", and the
+// shared exporter (obs.StartExporter — the same one cmd/smrcached uses)
+// serves
 //
 //   - /debug/vars (expvar) exposes the current run's stats.Snapshot —
 //     counters and the HDR histogram summaries — under the "smr" key;
@@ -14,40 +16,18 @@ package main
 //   - -watch prints a one-line digest to stderr at the given interval.
 
 import (
-	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"github.com/smrgo/hpbrcu/internal/obs"
-	"github.com/smrgo/hpbrcu/internal/stats"
 )
 
 var (
 	metricsAddr = flag.String("metrics", "", "serve live metrics on this address (expvar on /debug/vars, JSON on /metrics, traces on /trace, pprof on /debug/pprof); e.g. 127.0.0.1:8080, or :0 for an ephemeral port")
 	watchEvery  = flag.Duration("watch", 0, "print a live stats line to stderr at this interval")
 )
-
-// exportedRun is the JSON shape served on /metrics and published to
-// expvar.
-type exportedRun struct {
-	Run   string
-	Stats stats.Snapshot
-}
-
-func currentRun(col *obs.Collector) exportedRun {
-	label, rec := col.Run()
-	out := exportedRun{Run: label}
-	if rec != nil {
-		out.Stats = rec.Snapshot()
-	}
-	return out
-}
 
 // startObservability enables the obs layer when -metrics or -watch asks
 // for it. It must run before any experiment goroutine starts (the obs
@@ -60,28 +40,14 @@ func startObservability() {
 	obs.Activate(col)
 
 	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
+		addr, err := obs.StartExporter(col, *metricsAddr, obs.ExporterConfig{})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
 			os.Exit(2)
 		}
-		expvar.Publish("smr", expvar.Func(func() any { return currentRun(col) }))
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(currentRun(col))
-		})
-		http.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			for _, line := range col.FormatTail(32) {
-				fmt.Fprintln(w, line)
-			}
-		})
 		// The resolved address line lets scripts (and the CI smoke job)
 		// discover an ephemeral :0 port.
-		fmt.Fprintf(os.Stderr, "metrics: listening on http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", ln.Addr())
-		go http.Serve(ln, nil)
+		fmt.Fprintf(os.Stderr, "metrics: listening on http://%s (/metrics, /trace, /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	if *watchEvery > 0 {

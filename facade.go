@@ -98,10 +98,21 @@ func (m *mapImpl) checkout(ctx context.Context) (*pool.Entry[*pooledHandle], err
 		return nil, ErrClosed
 	}
 	e, err := m.pool().Acquire(ctx)
+	if err == nil {
+		return e, nil
+	}
 	if err == pool.ErrClosed {
 		return nil, ErrClosed
 	}
-	return e, err
+	// An acquire that lost its bounded wait while Close was already in
+	// flight must report the truthful cause: the wait ended because the
+	// pool was draining, not because capacity ran out — callers treat
+	// ErrHandleExhausted as "retry later", which a closed map will never
+	// honour. Context errors stay the caller's own.
+	if err == pool.ErrExhausted && m.closed.Load() {
+		return nil, ErrClosed
+	}
+	return nil, err
 }
 
 // checkin returns a checkout on every completion path. completed is
@@ -173,9 +184,10 @@ func (m *mapImpl) Insert(key, val int64) (ok bool, err error) {
 }
 
 // TryInsert implements the handle-free Map.TryInsert: Insert through the
-// backpressure admission gate when the map has one, so callers compose
-// both load-shed signals (ErrMemoryPressure, ErrHandleExhausted) in one
-// place.
+// backpressure admission gate when the map has one, so both load-shed
+// signals (ErrMemoryPressure, ErrHandleExhausted) surface on one call —
+// callers test them with IsLoadShed instead of enumerating the
+// sentinels by hand.
 func (m *mapImpl) TryInsert(key, val int64) (ok bool, err error) {
 	e, cerr := m.checkout(nil)
 	if cerr != nil {

@@ -1,0 +1,119 @@
+package hpbrcu_test
+
+// The close-while-busy facade regression: an operation that acquired (or
+// was acquiring) its pooled handle while Close ran concurrently must
+// surface exactly one of two truths — it completed (err == nil, or a
+// genuine result error), or the map closed under it (ErrClosed). In
+// particular it must never report ErrHandleExhausted for a wait that
+// really ended in shutdown: callers treat exhaustion as "retry later",
+// which a closed map will never honour. Two layers enforce this — the
+// pool's await re-checks the closed flag when its timer and the stop
+// channel race, and the facade's checkout re-translates a post-Close
+// ErrExhausted — and this test storms both from every facade entry
+// point.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+func TestFacadeCloseWhileBusy(t *testing.T) {
+	const workers = 8
+	for _, scheme := range []hpbrcu.Scheme{hpbrcu.RCU, hpbrcu.HPBRCU} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			m, err := hpbrcu.NewHashMap(scheme, 64, hpbrcu.Config{
+				// Ample pool: with 2× entries per worker and nanosecond
+				// operations, a legitimate exhaustion cannot happen, so any
+				// ErrHandleExhausted below is a mistranslated shutdown.
+				Pool: hpbrcu.PoolConfig{Size: 2 * workers, AcquireTimeout: time.Millisecond},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var (
+				wg       sync.WaitGroup
+				stop     atomic.Bool
+				ops      atomic.Int64
+				rejected atomic.Int64
+			)
+			check := func(op string, err error) bool {
+				switch {
+				case err == nil:
+					ops.Add(1)
+					return true
+				case errors.Is(err, hpbrcu.ErrClosed):
+					rejected.Add(1)
+					return false
+				default:
+					t.Errorf("%s during Close: %v (want nil or ErrClosed)", op, err)
+					return false
+				}
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ctx := context.Background()
+					for i := int64(0); !stop.Load(); i++ {
+						k := (int64(w)<<20 + i) % 256
+						switch i % 6 {
+						case 0:
+							_, err := m.Insert(k, i)
+							check("Insert", err)
+						case 1:
+							_, _, err := m.Get(k)
+							check("Get", err)
+						case 2:
+							_, err := m.TryInsert(k, i)
+							check("TryInsert", err)
+						case 3:
+							_, _, err := m.Remove(k)
+							check("Remove", err)
+						case 4:
+							_, _, err := m.GetCtx(ctx, k)
+							check("GetCtx", err)
+						case 5:
+							check("Barrier", m.Barrier())
+						}
+					}
+				}(w)
+			}
+			time.Sleep(5 * time.Millisecond) // storm in full flight
+			if err := hpbrcu.Close(m, time.Second); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// Let the storm run a beat past Close so every worker issues at
+			// least one operation against the closed map (schemes without a
+			// domain close instantly).
+			time.Sleep(2 * time.Millisecond)
+			stop.Store(true)
+			wg.Wait()
+			if ops.Load() == 0 {
+				t.Fatal("no facade operation ever completed before Close")
+			}
+			if rejected.Load() == 0 {
+				t.Fatal("no in-flight operation ever observed the Close (storm never overlapped)")
+			}
+			// The deterministic tail: after Close has returned, every facade
+			// path reports ErrClosed — not a pool error, not a latched panic.
+			if _, _, err := m.Get(1); !errors.Is(err, hpbrcu.ErrClosed) {
+				t.Fatalf("Get after Close = %v, want ErrClosed", err)
+			}
+			if _, err := m.TryInsert(1, 1); !errors.Is(err, hpbrcu.ErrClosed) {
+				t.Fatalf("TryInsert after Close = %v, want ErrClosed", err)
+			}
+			if err := m.Barrier(); !errors.Is(err, hpbrcu.ErrClosed) {
+				t.Fatalf("Barrier after Close = %v, want ErrClosed", err)
+			}
+			if snap := m.Stats().Snapshot(); snap.Unreclaimed != 0 {
+				t.Fatalf("books unbalanced after Close: %d unreclaimed", snap.Unreclaimed)
+			}
+		})
+	}
+}

@@ -67,6 +67,10 @@ type GridExperiment struct {
 	// Writers and KeyRange override table2's writer count and key range.
 	Writers  int   `json:"writers,omitempty"`
 	KeyRange int64 `json:"key_range,omitempty"`
+	// Rates overrides the server experiment's offered-load sweep
+	// (requests/second per point); Conns its generator connections.
+	Rates []int `json:"rates,omitempty"`
+	Conns int   `json:"conns,omitempty"`
 }
 
 // ParseGrid parses and validates an experiments.json document.
@@ -131,8 +135,13 @@ func (s *GridSpec) validate() error {
 				return fmt.Errorf("grid: %s: pool size %d < 1", e.Name, p)
 			}
 		}
-		if e.Threads < 0 || e.Writers < 0 || e.KeyRange < 0 {
-			return fmt.Errorf("grid: %s: negative threads/writers/key_range", e.Name)
+		if e.Threads < 0 || e.Writers < 0 || e.KeyRange < 0 || e.Conns < 0 {
+			return fmt.Errorf("grid: %s: negative threads/writers/key_range/conns", e.Name)
+		}
+		for _, r := range e.Rates {
+			if r < 1 {
+				return fmt.Errorf("grid: %s: rate %d < 1", e.Name, r)
+			}
 		}
 		if _, err := parseSchemeNames(e.Schemes); err != nil {
 			return fmt.Errorf("grid: %s: %w", e.Name, err)
@@ -248,6 +257,7 @@ func RunGrid(spec *GridSpec, opts GridOptions) ([]*BenchFile, error) {
 			Seed: seed, Duration: dur, Schemes: schemes,
 			KeyRangeExps: e.KeyRangeExps, Threads: e.Threads,
 			PoolSizes: e.PoolSizes, Writers: e.Writers, KeyRange: e.KeyRange,
+			Rates: e.Rates, Conns: e.Conns,
 		}
 		for w := 0; w < warmup; w++ {
 			t0 := time.Now()
@@ -350,6 +360,12 @@ func AggregateRuns(runs []*BenchFile) (*BenchFile, error) {
 			}
 			if p.P99CSNanos > agg.P99CSNanos {
 				agg.P99CSNanos = p.P99CSNanos
+			}
+			if p.P99Nanos > agg.P99Nanos {
+				agg.P99Nanos = p.P99Nanos
+			}
+			if p.P999Nanos > agg.P999Nanos {
+				agg.P999Nanos = p.P999Nanos
 			}
 			if p.Bound >= 0 && (agg.Bound < 0 || p.Bound < agg.Bound) {
 				agg.Bound = p.Bound
@@ -497,17 +513,17 @@ func sortedPoints(f *BenchFile) []BenchPoint {
 // one row per point across all experiments).
 func GridCSV(files []*BenchFile) string {
 	var b strings.Builder
-	b.WriteString("experiment,workload,scheme,ops_per_sec_mean,ops_per_sec_std,ops_per_sec_min,ops_per_sec_max,peak_unreclaimed,p99_cs_ns,bound,repeats\n")
+	b.WriteString("experiment,workload,scheme,ops_per_sec_mean,ops_per_sec_std,ops_per_sec_min,ops_per_sec_max,peak_unreclaimed,p99_cs_ns,bound,p99_ns,p999_ns,repeats\n")
 	for _, f := range files {
 		for _, p := range sortedPoints(f) {
 			st := p.Ops
 			if st == nil {
 				st = &PointStats{Mean: p.OpsPerSec, Min: p.OpsPerSec, Max: p.OpsPerSec}
 			}
-			fmt.Fprintf(&b, "%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d\n",
+			fmt.Fprintf(&b, "%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%d,%d\n",
 				f.Experiment, p.Workload, p.Scheme,
 				st.Mean, st.Std, st.Min, st.Max,
-				p.PeakUnreclaimed, p.P99CSNanos, p.Bound, f.Repeats)
+				p.PeakUnreclaimed, p.P99CSNanos, p.Bound, p.P99Nanos, p.P999Nanos, f.Repeats)
 		}
 	}
 	return b.String()
@@ -524,8 +540,8 @@ func GridMarkdown(files []*BenchFile) string {
 		}
 		fmt.Fprintf(&b, "### %s (repeats=%d, warmup=%d, %d ms/point, seed %d)\n\n",
 			f.Experiment, f.Repeats, f.Warmup, f.DurationMS, f.Seed)
-		b.WriteString("| workload | scheme | ops/s (mean) | ±std | min | max | peak | p99 CS ns | bound |\n")
-		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		b.WriteString("| workload | scheme | ops/s (mean) | ±std | min | max | peak | p99 CS ns | bound | p99 ns | p999 ns |\n")
+		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 		for _, p := range sortedPoints(f) {
 			st := p.Ops
 			if st == nil {
@@ -535,9 +551,15 @@ func GridMarkdown(files []*BenchFile) string {
 			if p.Bound >= 0 {
 				bound = fmt.Sprintf("%d", p.Bound)
 			}
-			fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %.0f | %.0f | %d | %d | %s |\n",
+			lat := func(n int64) string {
+				if n <= 0 {
+					return "—"
+				}
+				return fmt.Sprintf("%d", n)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %.0f | %.0f | %d | %d | %s | %s | %s |\n",
 				p.Workload, p.Scheme, st.Mean, st.Std, st.Min, st.Max,
-				p.PeakUnreclaimed, p.P99CSNanos, bound)
+				p.PeakUnreclaimed, p.P99CSNanos, bound, lat(p.P99Nanos), lat(p.P999Nanos))
 		}
 	}
 	return b.String()

@@ -26,11 +26,11 @@ func fakeRun(points ...BenchPoint) *BenchFile {
 func TestAggregateRuns(t *testing.T) {
 	runs := []*BenchFile{
 		fakeRun(
-			BenchPoint{Workload: "w", Scheme: "A", OpsPerSec: 100, PeakUnreclaimed: 10, P99CSNanos: 500, Bound: 90},
+			BenchPoint{Workload: "w", Scheme: "A", OpsPerSec: 100, PeakUnreclaimed: 10, P99CSNanos: 500, Bound: 90, P99Nanos: 900, P999Nanos: 1500},
 			BenchPoint{Workload: "w", Scheme: "B", OpsPerSec: 50, PeakUnreclaimed: 3, Bound: -1},
 		),
 		fakeRun(
-			BenchPoint{Workload: "w", Scheme: "A", OpsPerSec: 200, PeakUnreclaimed: 40, P99CSNanos: 200, Bound: 80},
+			BenchPoint{Workload: "w", Scheme: "A", OpsPerSec: 200, PeakUnreclaimed: 40, P99CSNanos: 200, Bound: 80, P99Nanos: 1100, P999Nanos: 1200},
 			BenchPoint{Workload: "w", Scheme: "B", OpsPerSec: 70, PeakUnreclaimed: 1, Bound: -1},
 		),
 		fakeRun(
@@ -73,6 +73,9 @@ func TestAggregateRuns(t *testing.T) {
 	// single repeat's own pairing.
 	if a.PeakUnreclaimed != 40 || a.P99CSNanos != 500 || a.Bound != 80 {
 		t.Fatalf("A worst-case fields: %+v", a)
+	}
+	if a.P99Nanos != 1100 || a.P999Nanos != 1500 {
+		t.Fatalf("A latency tails must aggregate as max: %+v", a)
 	}
 	if b.OpsPerSec != 60 || b.PeakUnreclaimed != 3 || b.Bound != -1 {
 		t.Fatalf("B: %+v", b)
@@ -254,17 +257,17 @@ func TestExperimentRegistry(t *testing.T) {
 	if len(names) != len(experimentRunners) {
 		t.Fatalf("order lists %d experiments, registry has %d", len(names), len(experimentRunners))
 	}
-	hasPool := false
+	have := make(map[string]bool)
 	for _, n := range names {
 		if _, ok := RunnerFor(n); !ok {
 			t.Fatalf("ordered experiment %q has no runner", n)
 		}
-		if n == "pool" {
-			hasPool = true
-		}
+		have[n] = true
 	}
-	if !hasPool {
-		t.Fatal("pool experiment missing from the registry")
+	for _, want := range []string{"pool", "server"} {
+		if !have[want] {
+			t.Fatalf("%s experiment missing from the registry", want)
+		}
 	}
 }
 
@@ -283,11 +286,11 @@ func TestGridEmitters(t *testing.T) {
 	if !strings.HasPrefix(csv, "experiment,workload,scheme,ops_per_sec_mean,") {
 		t.Fatalf("csv header: %q", csv)
 	}
-	if !strings.Contains(csv, "fig1,w,A,200.0,100.0,100.0,300.0,7,0,50,2") {
+	if !strings.Contains(csv, "fig1,w,A,200.0,100.0,100.0,300.0,7,0,50,0,0,2") {
 		t.Fatalf("csv row missing aggregates:\n%s", csv)
 	}
 	md := GridMarkdown([]*BenchFile{agg})
-	for _, want := range []string{"### fig1 (repeats=2, warmup=1", "| ops/s (mean) |", "| w | A | 200 | 100 | 100 | 300 | 7 | 0 | 50 |"} {
+	for _, want := range []string{"### fig1 (repeats=2, warmup=1", "| ops/s (mean) |", "| w | A | 200 | 100 | 100 | 300 | 7 | 0 | 50 | — | — |"} {
 		if !strings.Contains(md, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, md)
 		}

@@ -40,6 +40,11 @@ type PipelineConfig struct {
 	Writers int
 	// KeyRange overrides table2's key range.
 	KeyRange int64
+	// Rates overrides the server experiment's offered-load sweep
+	// (requests/second per point).
+	Rates []int
+	// Conns overrides the server experiment's generator connections.
+	Conns int
 }
 
 func (c *PipelineConfig) normalize() {
@@ -67,6 +72,12 @@ func (c *PipelineConfig) normalize() {
 	if c.KeyRange <= 0 {
 		c.KeyRange = 256
 	}
+	if len(c.Rates) == 0 {
+		c.Rates = serverRates
+	}
+	if c.Conns <= 0 {
+		c.Conns = serverConns
+	}
 }
 
 func (c *PipelineConfig) file(experiment string) *BenchFile {
@@ -82,7 +93,7 @@ func (c *PipelineConfig) file(experiment string) *BenchFile {
 // experimentOrder fixes the canonical experiment order for runs, error
 // messages and emitted tables; experimentRunners must cover exactly
 // this set (pinned by TestExperimentRegistry).
-var experimentOrder = []string{"fig1", "fig5", "table2", "pool"}
+var experimentOrder = []string{"fig1", "fig5", "table2", "pool", "server"}
 
 // experimentRunners maps experiment names to their pipeline entry
 // points — the single registry `smrbench bench`, the grid runner and
@@ -95,6 +106,7 @@ var experimentRunners = map[string]func(PipelineConfig) *BenchFile{
 	"fig5":   BenchFig5,
 	"table2": BenchTable2,
 	"pool":   BenchPool,
+	"server": BenchServer,
 }
 
 // ExperimentNames returns the pipeline experiments in canonical order.

@@ -77,6 +77,13 @@ type BenchPoint struct {
 	// not evaluate it. Compare fails any point with
 	// PeakUnreclaimed > Bound ≥ 0 regardless of tolerance.
 	Bound int64 `json:"bound"`
+	// P99Nanos / P999Nanos are end-to-end request-latency tails in
+	// nanoseconds, measured open-loop from each request's scheduled
+	// arrival time. Only the server experiment populates them (0 =
+	// not measured): the in-process pipelines have no request boundary
+	// to time.
+	P99Nanos  int64 `json:"p99_ns,omitempty"`
+	P999Nanos int64 `json:"p999_ns,omitempty"`
 	// Ops aggregates throughput across grid repeats (schema ≥ 2, grid
 	// runs only); nil in schema-1 files and single-run reports. When
 	// set, OpsPerSec equals Ops.Mean.

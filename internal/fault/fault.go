@@ -105,6 +105,19 @@ const (
 	// The pool's leak sweep — backed by the lease reaper — must retire the
 	// slot and restore the capacity. Fired from the facade checkin path.
 	SitePoolLeak
+	// SiteNetRead stalls the cache server's per-connection request-read
+	// path after a complete request line arrived — a slow or wedged
+	// client goroutine holding server-side resources mid-protocol.
+	SiteNetRead
+	// SiteNetWrite stalls the cache server's reply-write path before the
+	// flush — the slow-reader case, where the peer's receive window (or
+	// its unread socket buffer) backs pressure into the server.
+	SiteNetWrite
+	// SiteNetDrop closes the cache server's side of a connection right
+	// after a reply — the peer observes a mid-stream disconnect, and the
+	// server's teardown path must still run its normal checkin/close
+	// sequence.
+	SiteNetDrop
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -114,7 +127,7 @@ var siteNames = [NumSites]string{
 	"poll", "shield", "mask-enter", "mask-exit", "mask-abort",
 	"step-rollback", "advance-storm", "drain-skip",
 	"alloc-stall", "alloc-exhaust", "free-stall", "leak", "panic",
-	"pool-leak",
+	"pool-leak", "net-read", "net-write", "net-drop",
 }
 
 // String returns the site's name.
@@ -174,17 +187,22 @@ var On bool
 
 var active *Injector
 
+// activeDyn mirrors active for FireDyn's atomic readers; see below.
+var activeDyn atomic.Pointer[Injector]
+
 // Activate installs inj and opens the gate. It must not run while any
 // worker is inside an injection point.
 func Activate(inj *Injector) {
 	active = inj
 	On = inj != nil
+	activeDyn.Store(inj)
 }
 
 // Deactivate closes the gate. Same contract as Activate.
 func Deactivate() {
 	On = false
 	active = nil
+	activeDyn.Store(nil)
 }
 
 // Fire records one arrival at site s, performs the site's stall if the
@@ -193,6 +211,21 @@ func Deactivate() {
 // keep the disabled cost to one branch.
 func Fire(s Site) bool {
 	inj := active
+	if inj == nil {
+		return false
+	}
+	return inj.fire(s)
+}
+
+// FireDyn is Fire for callers that cannot honour the Activate/Deactivate
+// quiescence contract — long-lived goroutines like the cache server's
+// connection handlers, which are accepted and torn down while injection
+// schedules come and go. It reads the gate and the injector through one
+// atomic pointer instead of the plain On/active pair, trading a single
+// atomic load per arrival for race-freedom. Library hot paths keep the
+// plain-branch Fire; dynamic service paths use FireDyn.
+func FireDyn(s Site) bool {
+	inj := activeDyn.Load()
 	if inj == nil {
 		return false
 	}

@@ -1,0 +1,112 @@
+// The live expvar/HTTP exporter shared by the command-line binaries:
+// cmd/smrbench (-metrics) and cmd/smrcached (-metrics) serve the same
+// endpoints off the same snapshot shape, so the benchmark harness and
+// the cache service tell one observability story —
+//
+//   - /debug/vars (expvar) exposes the current run's stats.Snapshot —
+//     counters (including the service counters), the HDR histogram
+//     summaries, and any extra sections the binary contributes — under
+//     the "smr" key;
+//   - /metrics serves the same payload as plain JSON;
+//   - /trace dumps the merged tail of every handle's event ring;
+//   - /debug/pprof is wired (net/http/pprof handlers on the exporter's
+//     own mux, so tests can run several exporters in one process).
+
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// ExporterConfig parameterizes StartExporter beyond the listen address.
+type ExporterConfig struct {
+	// Extra, when non-nil, contributes additional top-level sections to
+	// the exported payload (e.g. the cache server's connection gauges);
+	// its keys must not collide with "Run" or "Stats". Called on every
+	// scrape, so it should be cheap and safe for concurrent use.
+	Extra func() map[string]any
+	// TraceTail is how many events per handle /trace dumps (<=0 selects
+	// 32, the depth the CI smoke jobs scrape).
+	TraceTail int
+}
+
+// exportPayload builds the scrape payload: the current run's label and
+// snapshot plus the binary's extra sections. A zero Snapshot keeps the
+// payload shape stable before the first run registers itself.
+func exportPayload(col *Collector, cfg ExporterConfig) map[string]any {
+	label, rec := col.Run()
+	snap := stats.Snapshot{}
+	if rec != nil {
+		snap = rec.Snapshot()
+	}
+	out := map[string]any{"Run": label, "Stats": snap}
+	if cfg.Extra != nil {
+		for k, v := range cfg.Extra() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// expvar publication is process-global and Publish panics on duplicates,
+// so the "smr" variable is registered once and always reads through the
+// most recently started exporter.
+var (
+	publishOnce   sync.Once
+	currentScrape atomic.Value // func() map[string]any
+)
+
+// StartExporter serves the observability endpoints on addr (e.g.
+// "127.0.0.1:0" for an ephemeral port) and returns the resolved listen
+// address. The HTTP server runs until the process exits — the endpoints
+// are diagnostic and hold no resources worth a graceful stop.
+func StartExporter(col *Collector, addr string, cfg ExporterConfig) (net.Addr, error) {
+	if col == nil {
+		return nil, fmt.Errorf("obs: exporter needs a collector")
+	}
+	if cfg.TraceTail <= 0 {
+		cfg.TraceTail = 32
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	scrape := func() map[string]any { return exportPayload(col, cfg) }
+	currentScrape.Store(scrape)
+	publishOnce.Do(func() {
+		expvar.Publish("smr", expvar.Func(func() any {
+			return currentScrape.Load().(func() map[string]any)()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(scrape())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, line := range col.FormatTail(cfg.TraceTail) {
+			fmt.Fprintln(w, line)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return ln.Addr(), nil
+}

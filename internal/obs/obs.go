@@ -119,6 +119,22 @@ const (
 	// the bounded wait and returned ErrHandleExhausted; Arg is the pool's
 	// hard size ceiling.
 	EvExhausted
+	// EvAccept: the cache server accepted a connection into service; Arg
+	// is the connection's accept sequence number. Recorded on the accept
+	// loop's trace.
+	EvAccept
+	// EvConnClose: a server connection ended (client went away, ladder
+	// closed it, drain, or a contained per-connection panic); Arg is the
+	// connection's accept sequence number. Recorded on the connection's
+	// own trace, which the handler goroutine owns.
+	EvConnClose
+	// EvShed: the server's degradation ladder refused work; Arg is the
+	// rung that decided (1 = scan shed, 2 = write rejected, 3 =
+	// connection closed).
+	EvShed
+	// EvDrainBegin: Shutdown started the graceful drain; Arg is the
+	// number of live connections at that moment.
+	EvDrainBegin
 
 	numEventKinds
 )
@@ -128,6 +144,7 @@ var eventNames = [numEventKinds]string{
 	"watchdog-escalate", "broadcast", "drain", "reclaim", "slab-grow",
 	"lease-expire", "quarantine", "adopt", "reap", "throttle", "reject",
 	"panic-recover", "cancel", "close", "checkout", "return", "exhausted",
+	"accept", "conn-close", "shed", "drain-begin",
 }
 
 // String returns the event kind's name.

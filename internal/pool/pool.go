@@ -152,7 +152,7 @@ type Config[T any] struct {
 type Pool[T any] struct {
 	cfg Config[T]
 
-	fast sync.Pool     // *Entry[T]; the per-P-biased tier
+	fast sync.Pool      // *Entry[T]; the per-P-biased tier
 	idle chan *Entry[T] // the bounded global tier / waiter wakeup path
 
 	created atomic.Int64 // live entries: minted minus retired
@@ -334,6 +334,15 @@ func (p *Pool[T]) await(ctx context.Context) (*Entry[T], error) {
 		case <-p.stop:
 			return nil, ErrClosed
 		case <-timer.C:
+			// Close may have raced the timer: once p.stop is closed both
+			// cases are ready and select picks one at random, so a waiter
+			// could report exhaustion for a wait that really ended in
+			// shutdown. The closed flag is set before stop is closed, so
+			// checking it here makes the answer deterministic: a closing
+			// pool always reports ErrClosed, never ErrExhausted.
+			if p.closed.Load() {
+				return nil, ErrClosed
+			}
 			p.exhausted()
 			return nil, ErrExhausted
 		}

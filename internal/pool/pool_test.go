@@ -302,3 +302,72 @@ func TestRaceStress(t *testing.T) {
 	}
 	t.Logf("served=%d exhausted=%d minted=%d", served.Load(), exhausted.Load(), f.minted.Load())
 }
+
+// TestCloseNeverReportsExhausted pins the Close-vs-await error contract:
+// a waiter whose bounded wait ends during Close must report ErrClosed,
+// never ErrExhausted — even when its acquire timer and the stop channel
+// become ready in the same select (the timer-vs-stop race; await breaks
+// the tie by re-checking the closed flag). A truthless ErrExhausted
+// would tell the caller "retry later" about a pool that will never
+// serve again. The schedule is inherently racy, so the test hammers the
+// window across rounds and additionally asserts the deterministic tail:
+// after Close has returned, Acquire always reports ErrClosed.
+func TestCloseNeverReportsExhausted(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		f := newFixture()
+		p := New(f.config(1, 200*time.Microsecond, time.Second))
+		// Pin the only entry so every other acquirer lands in await.
+		held, err := p.Acquire(nil)
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		var closeBegun atomic.Bool
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sawClose := false
+				for i := 0; i < 400 && !sawClose; i++ {
+					_, err := p.Acquire(nil)
+					switch {
+					case err == nil:
+						t.Error("acquired the pinned entry")
+						return
+					case errors.Is(err, ErrClosed):
+						sawClose = true
+					case errors.Is(err, ErrExhausted):
+						// Legitimate before Close begins; the racy window
+						// afterwards is exactly what the await fix closes.
+					default:
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+				if !sawClose && closeBegun.Load() {
+					// Every post-Close attempt must have been answered with
+					// ErrClosed; 400 attempts of anything else is the bug.
+					t.Error("waiter never observed ErrClosed after Close began")
+				}
+			}()
+		}
+		time.Sleep(300 * time.Microsecond) // let waiters pile into await
+		closeBegun.Store(true)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			p.Close(time.Now().Add(time.Second))
+		}()
+		wg.Wait()
+		p.Release(held) // straggler returns post-Close: retires itself
+		<-done
+		// The deterministic half of the contract: a closed pool answers
+		// ErrClosed, never ErrExhausted, from the very first check.
+		if _, err := p.Acquire(nil); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Acquire after Close = %v, want ErrClosed", err)
+		}
+		if got, want := f.retired.Load(), f.minted.Load(); got != want {
+			t.Fatalf("books unbalanced: retired %d of %d minted", got, want)
+		}
+	}
+}

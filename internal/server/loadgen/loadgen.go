@@ -1,0 +1,415 @@
+// Package loadgen is the open-loop load generator for smrcached. Open
+// loop is the property that matters for tail-latency honesty: request
+// arrival times are fixed by the configured rate, independent of how
+// fast the server answers, so queueing delay under overload shows up in
+// the latency distribution instead of silently throttling the offered
+// load (the coordinated-omission trap of closed-loop clients).
+// Latencies are therefore measured from each request's *scheduled*
+// arrival, not from when a worker got around to sending it.
+//
+// The generator doubles as the chaos client: a fraction of workers read
+// replies pathologically slowly, a fraction of requests are abandoned
+// mid-write with a dropped connection, and connections churn on a
+// configurable lifetime — the slow-reader, mid-request-disconnect and
+// reconnect storms a public cache endpoint actually sees. -BUSY replies
+// are retried with jittered exponential backoff honouring the server's
+// retry-after, which is what makes the degradation ladder an end-to-end
+// protocol rather than a server-side counter.
+package loadgen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Config parameterizes one load run. Zero fields select defaults.
+type Config struct {
+	// Addr is the server's TCP address. Required.
+	Addr string
+	// Rate is the offered load in requests/second across all workers.
+	// Default 1000.
+	Rate int
+	// Conns is the number of worker connections. Default 4.
+	Conns int
+	// Duration is how long to offer load. Default 1s.
+	Duration time.Duration
+	// Keys is the key-space size; keys are drawn zipf-distributed so a
+	// hot set dominates, like a real cache. Default 1024.
+	Keys int64
+	// ZipfS is the zipf skew parameter (must be >1; larger is more
+	// skewed). Default 1.2.
+	ZipfS float64
+	// SetFrac, DelFrac and ScanFrac split the request mix; the
+	// remainder is GETs. Defaults 0.2 / 0.05 / 0.05.
+	SetFrac, DelFrac, ScanFrac float64
+	// ScanCount is the row count requested per SCAN. Default 32.
+	ScanCount int
+	// Churn, when positive, is each connection's lifetime: workers QUIT
+	// and redial on this period, exercising accept-path admission.
+	Churn time.Duration
+	// SlowFrac is the fraction of workers that read replies a byte at a
+	// time with delays — the slow-reader chaos mode.
+	SlowFrac float64
+	// DropFrac is the per-request probability of writing half the
+	// request and dropping the connection — the mid-request-disconnect
+	// chaos mode.
+	DropFrac float64
+	// MaxRetries bounds -BUSY retries per request. Default 3.
+	MaxRetries int
+	// RetryCap caps the exponential backoff delay. Default 100ms.
+	RetryCap time.Duration
+	// Seed makes the request schedule reproducible. Default 1.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Addr == "" {
+		return errors.New("loadgen: Config.Addr is required")
+	}
+	if c.Rate <= 0 {
+		c.Rate = 1000
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Keys <= 1 {
+		c.Keys = 1024
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.SetFrac == 0 && c.DelFrac == 0 && c.ScanFrac == 0 {
+		c.SetFrac, c.DelFrac, c.ScanFrac = 0.2, 0.05, 0.05
+	}
+	if c.ScanCount <= 0 {
+		c.ScanCount = 32
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 100 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// Result aggregates one load run.
+type Result struct {
+	// Sent counts requests handed to workers (each counted once, however
+	// many -BUSY retries it needed).
+	Sent int64
+	// OK counts requests that completed with a success reply; Miss
+	// counts GET misses (also successes, kept separate for sanity
+	// checks).
+	OK, Miss int64
+	// Busy counts requests that exhausted their retries against -BUSY.
+	Busy int64
+	// Retries counts individual -BUSY replies that were retried.
+	Retries int64
+	// Errors counts -ERR replies and transport errors.
+	Errors int64
+	// Dropped counts scheduled arrivals the workers could not absorb
+	// (the open-loop queue overflowed — offered load exceeded client
+	// capacity, distinct from server shedding).
+	Dropped int64
+	// Disconnects counts deliberate chaos disconnects (DropFrac).
+	Disconnects int64
+	// Elapsed is the wall-clock span of the run.
+	Elapsed time.Duration
+	// Lat digests per-request latency in nanoseconds, measured from the
+	// scheduled arrival time (coordinated-omission safe). Only completed
+	// requests (OK + Miss) record latency.
+	Lat stats.HistSummary
+}
+
+// String renders the result as a one-line digest.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"sent=%d ok=%d miss=%d busy=%d retries=%d errors=%d dropped=%d disconnects=%d elapsed=%v p50=%v p99=%v p999=%v",
+		r.Sent, r.OK, r.Miss, r.Busy, r.Retries, r.Errors, r.Dropped, r.Disconnects,
+		r.Elapsed.Round(time.Millisecond),
+		time.Duration(r.Lat.P50), time.Duration(r.Lat.P99), time.Duration(r.Lat.P999))
+}
+
+// job is one scheduled arrival.
+type job struct {
+	at time.Time
+}
+
+type counters struct {
+	sent, ok, miss, busy, retries, errs, dropped, disconnects atomic.Int64
+}
+
+// Run offers cfg.Rate requests/second against cfg.Addr for
+// cfg.Duration and reports what came back.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return Result{}, err
+	}
+	var (
+		cnt  counters
+		hist stats.Histogram
+		wg   sync.WaitGroup
+	)
+	jobs := make(chan job, cfg.Rate/4+64)
+
+	start := time.Now()
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		slow := float64(i) < cfg.SlowFrac*float64(cfg.Conns)
+		go func(id int, slow bool) {
+			defer wg.Done()
+			w := newWorker(cfg, id, slow, &cnt, &hist)
+			w.run(jobs)
+		}(i, slow)
+	}
+
+	// Open-loop scheduler: arrivals at fixed spacing regardless of how
+	// the workers are doing. A full queue means the client is the
+	// bottleneck; that is counted, not absorbed.
+	interval := time.Second / time.Duration(cfg.Rate)
+	deadline := start.Add(cfg.Duration)
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case jobs <- job{at: next}:
+		default:
+			cnt.dropped.Add(1)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	return Result{
+		Sent:        cnt.sent.Load(),
+		OK:          cnt.ok.Load(),
+		Miss:        cnt.miss.Load(),
+		Busy:        cnt.busy.Load(),
+		Retries:     cnt.retries.Load(),
+		Errors:      cnt.errs.Load(),
+		Dropped:     cnt.dropped.Load(),
+		Disconnects: cnt.disconnects.Load(),
+		Elapsed:     time.Since(start),
+		Lat:         hist.Summary(),
+	}, nil
+}
+
+// worker owns one connection (re-dialled on churn, chaos drops and
+// transport errors) and its private rng, so runs are reproducible per
+// (seed, worker) regardless of scheduling.
+type worker struct {
+	cfg  Config
+	id   int
+	slow bool
+	cnt  *counters
+	hist *stats.Histogram
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	nc      net.Conn
+	br      *bufio.Reader
+	dialled time.Time
+}
+
+// slowReader is the slow-reader chaos mode: every read delivers at most
+// one byte after a delay, so the peer's reply path (and its write
+// deadline) stays under tension for the whole connection.
+type slowReader struct{ r io.Reader }
+
+func (s slowReader) Read(p []byte) (int, error) {
+	time.Sleep(200 * time.Microsecond)
+	return s.r.Read(p[:1])
+}
+
+func newWorker(cfg Config, id int, slow bool, cnt *counters, hist *stats.Histogram) *worker {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+	return &worker{
+		cfg:  cfg,
+		id:   id,
+		slow: slow,
+		cnt:  cnt,
+		hist: hist,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1)),
+	}
+}
+
+func (w *worker) run(jobs <-chan job) {
+	defer w.close()
+	for j := range jobs {
+		w.cnt.sent.Add(1)
+		w.request(j)
+	}
+}
+
+func (w *worker) dial() error {
+	nc, err := net.DialTimeout("tcp", w.cfg.Addr, time.Second)
+	if err != nil {
+		return err
+	}
+	w.nc = nc
+	if w.slow {
+		w.br = bufio.NewReader(slowReader{r: nc})
+	} else {
+		w.br = bufio.NewReader(nc)
+	}
+	w.dialled = time.Now()
+	return nil
+}
+
+func (w *worker) close() {
+	if w.nc != nil {
+		w.nc.Close()
+		w.nc = nil
+		w.br = nil
+	}
+}
+
+// buildRequest picks the next request from the configured mix.
+func (w *worker) buildRequest() string {
+	key := int64(w.zipf.Uint64())
+	p := w.rng.Float64()
+	switch {
+	case p < w.cfg.SetFrac:
+		return fmt.Sprintf("SET %d %d\r\n", key, w.rng.Int63n(1<<20))
+	case p < w.cfg.SetFrac+w.cfg.DelFrac:
+		return fmt.Sprintf("DEL %d\r\n", key)
+	case p < w.cfg.SetFrac+w.cfg.DelFrac+w.cfg.ScanFrac:
+		return fmt.Sprintf("SCAN %d %d\r\n", key, w.cfg.ScanCount)
+	}
+	return fmt.Sprintf("GET %d\r\n", key)
+}
+
+// request runs one scheduled request end to end: chaos, send, reply,
+// -BUSY backoff. Latency is recorded from the scheduled arrival.
+func (w *worker) request(j job) {
+	req := w.buildRequest()
+
+	// Chaos: abandon the request mid-write and drop the connection.
+	if w.cfg.DropFrac > 0 && w.rng.Float64() < w.cfg.DropFrac {
+		if w.nc != nil || w.dial() == nil {
+			w.nc.Write([]byte(req[:len(req)/2]))
+			w.close()
+		}
+		w.cnt.disconnects.Add(1)
+		return
+	}
+
+	backoff := w.cfg.RetryCap / 16
+	for attempt := 0; ; attempt++ {
+		reply, err := w.exchange(req)
+		if err != nil {
+			w.cnt.errs.Add(1)
+			w.close()
+			return
+		}
+		switch {
+		case strings.HasPrefix(reply, "-BUSY"):
+			if attempt >= w.cfg.MaxRetries {
+				w.cnt.busy.Add(1)
+				return
+			}
+			w.cnt.retries.Add(1)
+			d := retryAfter(reply)
+			if d <= 0 {
+				d = backoff
+			}
+			// Jittered exponential backoff on top of the server's floor, so
+			// synchronized clients don't re-arrive in one thundering herd.
+			d += time.Duration(w.rng.Int63n(int64(backoff) + 1))
+			if d > w.cfg.RetryCap {
+				d = w.cfg.RetryCap
+			}
+			backoff *= 2
+			time.Sleep(d)
+		case strings.HasPrefix(reply, "-"):
+			w.cnt.errs.Add(1)
+			return
+		case strings.HasPrefix(reply, "$-1"):
+			w.cnt.miss.Add(1)
+			w.hist.Record(int64(time.Since(j.at)))
+			return
+		default:
+			w.cnt.ok.Add(1)
+			w.hist.Record(int64(time.Since(j.at)))
+			return
+		}
+	}
+}
+
+// exchange writes one request and reads its complete reply, dialling
+// (and churning) as needed.
+func (w *worker) exchange(req string) (string, error) {
+	if w.nc != nil && w.cfg.Churn > 0 && time.Since(w.dialled) > w.cfg.Churn {
+		w.nc.Write([]byte("QUIT\r\n"))
+		w.close()
+	}
+	if w.nc == nil {
+		if err := w.dial(); err != nil {
+			return "", err
+		}
+	}
+	w.nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := w.nc.Write([]byte(req)); err != nil {
+		return "", err
+	}
+	head, err := w.readLine()
+	if err != nil {
+		return "", err
+	}
+	// Multi-line replies: "*<n>" followed by n '+' rows.
+	if strings.HasPrefix(head, "*") {
+		n, perr := strconv.Atoi(strings.TrimPrefix(head, "*"))
+		if perr != nil {
+			return "", fmt.Errorf("bad multi-line header %q", head)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := w.readLine(); err != nil {
+				return "", err
+			}
+		}
+	}
+	return head, nil
+}
+
+// readLine reads one reply line (without its terminator).
+func (w *worker) readLine() (string, error) {
+	line, err := w.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// retryAfter parses the server's "-BUSY retry-after=<ms>" hint.
+func retryAfter(reply string) time.Duration {
+	const marker = "retry-after="
+	i := strings.Index(reply, marker)
+	if i < 0 {
+		return 0
+	}
+	ms, err := strconv.Atoi(strings.TrimSpace(reply[i+len(marker):]))
+	if err != nil {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeServer answers every request on the smrcached protocol: GETs hit,
+// every Nth request gets -BUSY with a retry-after, SCANs get a
+// multi-line reply. It lets the generator be tested without the real
+// server (which has its own end-to-end tests).
+func fakeServer(t *testing.T, busyEvery int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		n := 0
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					n++
+					switch {
+					case busyEvery > 0 && n%busyEvery == 0:
+						nc.Write([]byte("-BUSY retry-after=1\r\n"))
+					case strings.HasPrefix(line, "SCAN"):
+						nc.Write([]byte("*2\r\n+1=2\r\n+3=4\r\n"))
+					case strings.HasPrefix(line, "GET"):
+						nc.Write([]byte(":7\r\n"))
+					case strings.HasPrefix(line, "QUIT"):
+						nc.Write([]byte("+BYE\r\n"))
+						return
+					default:
+						nc.Write([]byte("+OK\r\n"))
+					}
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestLoadgenCompletesAndMeasures drives the generator against a fake
+// server and checks the accounting: requests complete, latency is
+// digested, and the zipf/mix machinery doesn't wedge.
+func TestLoadgenCompletesAndMeasures(t *testing.T) {
+	addr := fakeServer(t, 0)
+	res, err := Run(Config{
+		Addr:     addr,
+		Rate:     2000,
+		Conns:    4,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.OK == 0 {
+		t.Fatalf("nothing completed: %v", res)
+	}
+	if res.Errors != 0 || res.Busy != 0 {
+		t.Fatalf("unexpected failures against the happy fake: %v", res)
+	}
+	if res.Lat.Count != res.OK+res.Miss {
+		t.Fatalf("latency count %d != completed %d", res.Lat.Count, res.OK+res.Miss)
+	}
+	if res.Lat.P99 <= 0 {
+		t.Fatalf("no latency digested: %v", res)
+	}
+}
+
+// TestLoadgenRetriesBusy checks the -BUSY path: retried with backoff,
+// and requests that exhaust retries are counted Busy, not Errors.
+func TestLoadgenRetriesBusy(t *testing.T) {
+	addr := fakeServer(t, 3) // every 3rd reply is -BUSY
+	res, err := Run(Config{
+		Addr:       addr,
+		Rate:       500,
+		Conns:      2,
+		Duration:   300 * time.Millisecond,
+		MaxRetries: 2,
+		RetryCap:   4 * time.Millisecond,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("no -BUSY was ever retried: %v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("-BUSY leaked into Errors: %v", res)
+	}
+}
+
+// TestLoadgenRetryAfterParse pins the retry-after parser.
+func TestLoadgenRetryAfterParse(t *testing.T) {
+	if d := retryAfter("-BUSY retry-after=25"); d != 25*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 25ms", d)
+	}
+	if d := retryAfter("-BUSY"); d != 0 {
+		t.Fatalf("retryAfter without hint = %v, want 0", d)
+	}
+}

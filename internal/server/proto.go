@@ -1,0 +1,106 @@
+// The wire protocol of smrcached: a minimal RESP-flavoured, line-based
+// text protocol. Requests are single lines of space-separated fields
+// (CRLF-tolerant); replies are one of
+//
+//	+<msg>\r\n                 simple string (OK, PONG, BYE, k=v rows)
+//	:<n>\r\n                   integer (GET hit value, DEL count)
+//	$-1\r\n                    nil (GET miss)
+//	*<n>\r\n …n '+' lines…     multi-line (SCAN rows, STATS rows)
+//	-ERR <msg>\r\n             protocol or terminal error
+//	-BUSY retry-after=<ms>\r\n load shed — retry after the given delay
+//
+// The -BUSY reply is the whole point of the exercise: every load-shed
+// surface of the library (backpressure reject tier, handle-pool
+// exhaustion) and every rung of the server's own degradation ladder
+// funnels into this one retryable reply, with a server-chosen
+// retry-after that clients (internal/server/loadgen) honour.
+
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Request command names. Parsing upper-cases the verb, so clients may
+// send lower case.
+const (
+	cmdPing  = "PING"
+	cmdGet   = "GET"
+	cmdSet   = "SET"
+	cmdDel   = "DEL"
+	cmdScan  = "SCAN"
+	cmdStats = "STATS"
+	cmdQuit  = "QUIT"
+)
+
+// request is one parsed command line.
+type request struct {
+	verb string
+	args []string
+}
+
+// parseRequest splits one request line. It never allocates beyond the
+// field slice; validation of arity and integer arguments happens per
+// command, where the error message can name what was expected.
+func parseRequest(line string) (request, error) {
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) == 0 {
+		return request{}, fmt.Errorf("empty request")
+	}
+	return request{verb: strings.ToUpper(fields[0]), args: fields[1:]}, nil
+}
+
+// int64Arg parses argument i as the int64 the map's key/value space
+// uses.
+func (r request) int64Arg(i int) (int64, error) {
+	if i >= len(r.args) {
+		return 0, fmt.Errorf("%s: missing argument %d", r.verb, i+1)
+	}
+	v, err := strconv.ParseInt(r.args[i], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: argument %d is not an integer", r.verb, i+1)
+	}
+	return v, nil
+}
+
+// Reply constructors. Replies are built as complete strings so the
+// handler writes each one with a single buffered write followed by one
+// flush — the unit the SiteNetWrite fault stalls and the drain path
+// promises to complete.
+
+func replySimple(msg string) string { return "+" + msg + "\r\n" }
+
+func replyInt(n int64) string { return ":" + strconv.FormatInt(n, 10) + "\r\n" }
+
+func replyNil() string { return "$-1\r\n" }
+
+func replyErr(msg string) string { return "-ERR " + msg + "\r\n" }
+
+// replyBusy is the load-shed reply; after is rounded up to a whole
+// millisecond so a sub-millisecond configuration still tells clients to
+// actually wait.
+func replyBusy(after time.Duration) string {
+	ms := after.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	return "-BUSY retry-after=" + strconv.FormatInt(ms, 10) + "\r\n"
+}
+
+// replyMulti frames n rows as one multi-line reply.
+func replyMulti(rows []string) string {
+	var b strings.Builder
+	b.Grow(8 + len(rows)*16)
+	b.WriteByte('*')
+	b.WriteString(strconv.Itoa(len(rows)))
+	b.WriteString("\r\n")
+	for _, r := range rows {
+		b.WriteByte('+')
+		b.WriteString(r)
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}

@@ -142,6 +142,30 @@ type Reclamation struct {
 	// restoring the lost capacity for fresh handles.
 	PoolLeaksReclaimed Counter
 
+	// Service counters: a network service built over the facade
+	// (internal/server, cmd/smrcached) records its overload-ladder
+	// decisions here, on the same Reclamation its map already exposes —
+	// so the cache service and the benchmark harness share one snapshot
+	// and one expvar/metrics exporter.
+
+	// AcceptedConns counts connections the server accepted into service
+	// (over-capacity accepts refused at the door are not counted here).
+	AcceptedConns Counter
+	// ShedScans counts SCAN requests refused because the degradation
+	// ladder reached its first rung (shed optional work).
+	ShedScans Counter
+	// RejectedWrites counts write requests refused with a protocol-level
+	// busy reply — the ladder's second rung, or a load-shed error
+	// (memory pressure, handle exhaustion) surfacing from the facade.
+	RejectedWrites Counter
+	// ClosedByLadder counts connections the server closed to shed load:
+	// the ladder's third rung (newest connections first) and
+	// over-capacity accepts turned away at the door.
+	ClosedByLadder Counter
+	// DrainNanos accumulates the wall-clock nanoseconds graceful drains
+	// took, from shutdown start to balanced books.
+	DrainNanos Counter
+
 	// The histograms below record only while the observability layer
 	// (internal/obs) is enabled; see the Histogram doc comment.
 
@@ -185,6 +209,12 @@ type Snapshot struct {
 	PoolExhausted         int64
 	PoolLeaksReclaimed    int64
 
+	AcceptedConns  int64
+	ShedScans      int64
+	RejectedWrites int64
+	ClosedByLadder int64
+	DrainNanos     int64
+
 	// Histogram digests; all-zero unless the observability layer was
 	// enabled during the run. Summaries are scalar-only, so Snapshot
 	// remains comparable.
@@ -218,6 +248,12 @@ func (r *Reclamation) Snapshot() Snapshot {
 		PoolExhausted:         r.PoolExhausted.Load(),
 		PoolLeaksReclaimed:    r.PoolLeaksReclaimed.Load(),
 
+		AcceptedConns:  r.AcceptedConns.Load(),
+		ShedScans:      r.ShedScans.Load(),
+		RejectedWrites: r.RejectedWrites.Load(),
+		ClosedByLadder: r.ClosedByLadder.Load(),
+		DrainNanos:     r.DrainNanos.Load(),
+
 		PollLag:         r.PollLag.Summary(),
 		CSNanos:         r.CSNanos.Summary(),
 		GraceNanos:      r.GraceNanos.Summary(),
@@ -245,6 +281,11 @@ func (r *Reclamation) Reset() {
 	r.PoolCheckouts.Reset()
 	r.PoolExhausted.Reset()
 	r.PoolLeaksReclaimed.Reset()
+	r.AcceptedConns.Reset()
+	r.ShedScans.Reset()
+	r.RejectedWrites.Reset()
+	r.ClosedByLadder.Reset()
+	r.DrainNanos.Reset()
 	r.PollLag.Reset()
 	r.CSNanos.Reset()
 	r.GraceNanos.Reset()

@@ -1,0 +1,74 @@
+package hpbrcu_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+)
+
+// TestIsLoadShed pins the predicate's contract: both load-shed sentinels
+// (wrapped or bare) are shed signals, ErrClosed and unrelated errors are
+// not — a closed map will never honour a retry.
+func TestIsLoadShed(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{hpbrcu.ErrMemoryPressure, true},
+		{hpbrcu.ErrHandleExhausted, true},
+		{fmt.Errorf("op: %w", hpbrcu.ErrMemoryPressure), true},
+		{fmt.Errorf("op: %w", hpbrcu.ErrHandleExhausted), true},
+		{hpbrcu.ErrClosed, false},
+		{fmt.Errorf("op: %w", hpbrcu.ErrClosed), false},
+		{fmt.Errorf("unrelated"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := hpbrcu.IsLoadShed(c.err); got != c.want {
+			t.Errorf("IsLoadShed(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestPressureLevels pins the rung ordering, the names, and the accessor
+// defaults: maps without tiered backpressure always read PressureOK.
+func TestPressureLevels(t *testing.T) {
+	names := map[hpbrcu.PressureLevel]string{
+		hpbrcu.PressureOK:       "ok",
+		hpbrcu.PressureDrain:    "drain",
+		hpbrcu.PressureThrottle: "throttle",
+		hpbrcu.PressureReject:   "reject",
+	}
+	for l, want := range names {
+		if got := l.String(); got != want {
+			t.Errorf("PressureLevel(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+	if !(hpbrcu.PressureOK < hpbrcu.PressureDrain &&
+		hpbrcu.PressureDrain < hpbrcu.PressureThrottle &&
+		hpbrcu.PressureThrottle < hpbrcu.PressureReject) {
+		t.Fatal("pressure rungs are not ordered by severity")
+	}
+
+	plain, err := hpbrcu.NewHashMap(hpbrcu.RCU, 16, hpbrcu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(plain, time.Second)
+	if got := hpbrcu.Pressure(plain); got != hpbrcu.PressureOK {
+		t.Fatalf("Pressure(no-backpressure map) = %v, want ok", got)
+	}
+
+	bp, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 16, hpbrcu.Config{
+		Backpressure: hpbrcu.BackpressureConfig{Enabled: true, Ceiling: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(bp, time.Second)
+	if got := hpbrcu.Pressure(bp); got != hpbrcu.PressureOK {
+		t.Fatalf("Pressure(idle map) = %v, want ok", got)
+	}
+}
