@@ -45,9 +45,14 @@ func runBench(args []string) {
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional throughput drop vs baseline; >=1 skips throughput checks (cross-machine CI) but memory bounds still gate")
 	experiments := fs.String("experiments", "", "comma-separated subset of "+experimentHint()+" (default: all, or the baselines' experiments)")
 	schemeList := fs.String("schemes", "", "comma-separated scheme filter (committed baselines use the full set)")
+	shardList := fs.String("shards", "1,2,4,8", "comma-separated shard counts for the shard-aware experiments (fig1, server); the default matches the committed baselines, shards=1 is the unsharded point")
 	fs.Parse(args)
 
-	cfg := bench.PipelineConfig{Seed: *seed, Duration: *dur}
+	shards, err := parseShardCounts(*shardList)
+	if err != nil {
+		fatalArg(err)
+	}
+	cfg := bench.PipelineConfig{Seed: *seed, Duration: *dur, Shards: shards}
 	if *schemeList != "" {
 		sel, err := parseSchemes(*schemeList)
 		if err != nil {

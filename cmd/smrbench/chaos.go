@@ -12,10 +12,12 @@ import (
 )
 
 var (
-	chaosSeeds = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
-	chaosLeak  = flag.Bool("leak", false, "chaos: compose goroutine-death faults into every schedule; HP-BRCU runs the orphan reaper and gates on reap convergence")
-	chaosPanic = flag.Bool("panic", false, "chaos: compose injected panics into every schedule; maps run under PanicRecover and the sweep gates on containment accounting")
-	chaosPool  = flag.Bool("poolleak", false, "chaos: drive the handle-free facade and compose checkout-leak faults into every schedule; HP-BRCU runs the orphan reaper and gates on the pool leak sweep reclaiming every leaked checkout")
+	chaosSeeds       = flag.Int("seeds", 8, "chaos: seeds per (scheme, structure, schedule) cell")
+	chaosLeak        = flag.Bool("leak", false, "chaos: compose goroutine-death faults into every schedule; HP-BRCU runs the orphan reaper and gates on reap convergence")
+	chaosPanic       = flag.Bool("panic", false, "chaos: compose injected panics into every schedule; maps run under PanicRecover and the sweep gates on containment accounting")
+	chaosPool        = flag.Bool("poolleak", false, "chaos: drive the handle-free facade and compose checkout-leak faults into every schedule; HP-BRCU runs the orphan reaper and gates on the pool leak sweep reclaiming every leaked checkout")
+	chaosWedge       = flag.Bool("shardwedge", false, "chaos: run the shard-wedge isolation sweep instead of the schedule corpus — wedge shard 0's janitors under load, gate on quarantine + healthy-shard progress + recovery on a sharded map, and on global reap-service loss on the unsharded control")
+	chaosWedgeShards = flag.Int("wedgeshards", 4, "chaos: shard count for the sharded half of -shardwedge")
 )
 
 // runChaos sweeps the fault-injection schedule corpus over the expedited
@@ -26,6 +28,10 @@ func runChaos() {
 	if *chaosSeeds < 1 {
 		fmt.Fprintf(os.Stderr, "chaos: -seeds %d makes a vacuous sweep (need >= 1)\n", *chaosSeeds)
 		os.Exit(2)
+	}
+	if *chaosWedge {
+		runShardWedgeSweep()
+		return
 	}
 
 	// The chaos harness targets the expedited schemes (the others have no
@@ -150,4 +156,77 @@ func runChaos() {
 		os.Exit(1)
 	}
 	fmt.Println("all runs survived: zero invariant violations")
+}
+
+// runShardWedgeSweep is the -shardwedge mode: for each seed, one sharded
+// run (fault isolation: the wedged shard is quarantined and recovers
+// while the healthy shards keep reclaiming) and one unsharded control
+// (the same wedge degrades the whole map: leaks fired during the outage
+// stay unreaped until the janitors return). Any violation exits nonzero,
+// so the sweep doubles as a CI gate.
+func runShardWedgeSweep() {
+	if *chaosWedgeShards < 2 {
+		fmt.Fprintf(os.Stderr, "chaos: -wedgeshards %d cannot demonstrate isolation (need >= 2)\n", *chaosWedgeShards)
+		os.Exit(2)
+	}
+	fmt.Printf("Shard-wedge sweep: %d seeds × {sharded(%d), unsharded control}, HP-BRCU HashMap, janitors + health monitor on\n",
+		*chaosSeeds, *chaosWedgeShards)
+
+	header := row{"mode", "shards", "runs", "survived", "faults fired",
+		"quarantines", "recoveries", "healthy advΔ min", "leaked", "wedge leaks", "reaped"}
+	var rows []row
+	var failures []string
+	for _, shards := range []int{*chaosWedgeShards, 1} {
+		mode := "sharded"
+		if shards == 1 {
+			mode = "control"
+		}
+		var fired uint64
+		var quarantines, recoveries, advMin, leaked, wedgeLeaks, reaped int64
+		advMin = -1
+		survived := 0
+		for seed := 1; seed <= *chaosSeeds; seed++ {
+			res := chaos.RunShardWedge(chaos.ShardWedgeScenario{
+				Shards: shards, Seed: uint64(seed),
+			})
+			fired += res.Fired
+			quarantines += res.Quarantines
+			recoveries += res.Recoveries
+			leaked += res.Leaked
+			wedgeLeaks += res.WedgeLeaks
+			reaped += res.Reaped
+			if advMin < 0 || (res.HealthyAdvanceMin >= 0 && res.HealthyAdvanceMin < advMin) {
+				advMin = res.HealthyAdvanceMin
+			}
+			if res.Survived() {
+				survived++
+			} else {
+				for _, v := range res.Violations {
+					failures = append(failures, fmt.Sprintf("%s seed %d: %s", mode, seed, v))
+				}
+			}
+		}
+		rows = append(rows, row{
+			mode, strconv.Itoa(shards),
+			strconv.Itoa(*chaosSeeds),
+			fmt.Sprintf("%d/%d", survived, *chaosSeeds),
+			strconv.FormatUint(fired, 10),
+			strconv.FormatInt(quarantines, 10),
+			strconv.FormatInt(recoveries, 10),
+			strconv.FormatInt(advMin, 10),
+			strconv.FormatInt(leaked, 10),
+			strconv.FormatInt(wedgeLeaks, 10),
+			strconv.FormatInt(reaped, 10),
+		})
+	}
+	emit(header, rows)
+
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d invariant violation(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all runs survived: both-ways shard isolation held")
 }

@@ -52,6 +52,20 @@ func parseExps(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseShardCounts parses the -shards list: shard counts in [1, 64]
+// (the same window the grid validator enforces), comma-separated.
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, t := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad shard count %q (want 1..64)", t)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // parseLeakRate parses the -leak-rate fraction: a float in [0, 1]. NaN
 // sneaks past plain range comparisons (every comparison is false), so it
 // is rejected explicitly.

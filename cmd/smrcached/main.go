@@ -63,6 +63,7 @@ func runServe(args []string) int {
 		retryAfter   = fs.Duration("retry-after", 10*time.Millisecond, "delay advertised in -BUSY replies")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		metricsAddr  = fs.String("metrics", "", "serve live metrics on this address (same endpoints as smrbench -metrics)")
+		shards       = fs.Int("shards", 1, "independent SMR domains behind the store (>1 enables per-shard health monitoring with quarantine)")
 	)
 	fs.Parse(args)
 
@@ -89,6 +90,14 @@ func runServe(args []string) int {
 		Pool:         hpbrcu.PoolConfig{Size: *pool},
 		Reaper:       hpbrcu.ReaperConfig{Enabled: true},
 		Backpressure: hpbrcu.BackpressureConfig{Enabled: true, Ceiling: *ceiling, DrainFraction: *drainFrac},
+		// Sharding splits the store into independent SMR domains so a
+		// wedged janitor degrades one shard, not the service. Health
+		// monitoring rides along: quarantined shards shed writes with
+		// -BUSY while reads and the healthy shards keep full service.
+		Shards: hpbrcu.ShardsConfig{
+			Count:  *shards,
+			Health: hpbrcu.ShardHealthConfig{Enabled: *shards > 1},
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smrcached: %v\n", err)

@@ -71,6 +71,11 @@ type GridExperiment struct {
 	// (requests/second per point); Conns its generator connections.
 	Rates []int `json:"rates,omitempty"`
 	Conns int   `json:"conns,omitempty"`
+	// Shards is the shard-count sweep of the fig1 and server
+	// experiments (each in [1,64]; default [1]). Counts above 1 run
+	// HP-BRCU only and get "/shards=N"-suffixed workload names, so a
+	// sweep containing 1 keeps every baseline point name intact.
+	Shards []int `json:"shards,omitempty"`
 }
 
 // ParseGrid parses and validates an experiments.json document.
@@ -141,6 +146,11 @@ func (s *GridSpec) validate() error {
 		for _, r := range e.Rates {
 			if r < 1 {
 				return fmt.Errorf("grid: %s: rate %d < 1", e.Name, r)
+			}
+		}
+		for _, n := range e.Shards {
+			if n < 1 || n > 64 {
+				return fmt.Errorf("grid: %s: shard count %d out of [1,64]", e.Name, n)
 			}
 		}
 		if _, err := parseSchemeNames(e.Schemes); err != nil {
@@ -257,7 +267,7 @@ func RunGrid(spec *GridSpec, opts GridOptions) ([]*BenchFile, error) {
 			Seed: seed, Duration: dur, Schemes: schemes,
 			KeyRangeExps: e.KeyRangeExps, Threads: e.Threads,
 			PoolSizes: e.PoolSizes, Writers: e.Writers, KeyRange: e.KeyRange,
-			Rates: e.Rates, Conns: e.Conns,
+			Rates: e.Rates, Conns: e.Conns, Shards: e.Shards,
 		}
 		for w := 0; w < warmup; w++ {
 			t0 := time.Now()

@@ -66,7 +66,7 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		}
 		h.Unregister()
 	}
-	m.Stats().Unreclaimed.ResetPeak()
+	hpbrcu.ResetUnreclaimedPeaks(m)
 	obs.SetRun(fmt.Sprintf("longscan %s/%s readers=%d writers=%d keys=%d",
 		cfg.Structure, cfg.Scheme, cfg.Readers, cfg.Writers, cfg.KeyRange), m.Stats())
 
@@ -128,7 +128,7 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	s := m.Stats().Snapshot()
+	s := hpbrcu.AggregateSnapshot(m)
 	return LongScanResult{
 		Result: Result{
 			Ops:             readOps.Load() + writeOps.Load(),

@@ -45,6 +45,12 @@ type PipelineConfig struct {
 	Rates []int
 	// Conns overrides the server experiment's generator connections.
 	Conns int
+	// Shards is the shard-count sweep of the fig1 and server experiments
+	// (default [1]). Entries above 1 run HP-BRCU only — sharding is the
+	// fault-isolation feature of that scheme's domains — and suffix the
+	// workload name with "/shards=N", so shards=1 points keep their
+	// baseline-compatible names.
+	Shards []int
 }
 
 func (c *PipelineConfig) normalize() {
@@ -78,6 +84,23 @@ func (c *PipelineConfig) normalize() {
 	if c.Conns <= 0 {
 		c.Conns = serverConns
 	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1}
+	}
+}
+
+// shardSchemes restricts a shard sweep point's scheme list: shard counts
+// above 1 run HP-BRCU only (nil when HP-BRCU is filtered out entirely).
+func shardSchemes(schemes []hpbrcu.Scheme, shards int) []hpbrcu.Scheme {
+	if shards <= 1 {
+		return schemes
+	}
+	for _, s := range schemes {
+		if s == hpbrcu.HPBRCU {
+			return []hpbrcu.Scheme{hpbrcu.HPBRCU}
+		}
+	}
+	return nil
 }
 
 func (c *PipelineConfig) file(experiment string) *BenchFile {
@@ -134,21 +157,31 @@ func BenchFig1(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("fig1")
 	for _, e := range cfg.KeyRangeExps {
-		workload := fmt.Sprintf("keys=2^%02d", e)
-		for _, s := range cfg.Schemes {
-			res := RunLongScan(LongScanConfig{
-				Structure: LongScanStructureFor(s), Scheme: s,
-				Readers: 2, Writers: 2,
-				KeyRange: 1 << e, Duration: cfg.Duration, Seed: cfg.Seed,
-			})
-			f.Points = append(f.Points, BenchPoint{
-				Workload:        workload,
-				Scheme:          s.String(),
-				OpsPerSec:       res.ReadThroughput(),
-				PeakUnreclaimed: res.PeakUnreclaimed,
-				P99CSNanos:      res.CSP99,
-				Bound:           -1,
-			})
+		for _, nsh := range cfg.Shards {
+			workload := fmt.Sprintf("keys=2^%02d", e)
+			if nsh > 1 {
+				workload += fmt.Sprintf("/shards=%d", nsh)
+			}
+			for _, s := range shardSchemes(cfg.Schemes, nsh) {
+				var mc hpbrcu.Config
+				if nsh > 1 {
+					mc.Shards = hpbrcu.ShardsConfig{Count: nsh}
+				}
+				res := RunLongScan(LongScanConfig{
+					Structure: LongScanStructureFor(s), Scheme: s,
+					Readers: 2, Writers: 2,
+					KeyRange: 1 << e, Duration: cfg.Duration, Seed: cfg.Seed,
+					Config: mc,
+				})
+				f.Points = append(f.Points, BenchPoint{
+					Workload:        workload,
+					Scheme:          s.String(),
+					OpsPerSec:       res.ReadThroughput(),
+					PeakUnreclaimed: res.PeakUnreclaimed,
+					P99CSNanos:      res.CSP99,
+					Bound:           -1,
+				})
+			}
 		}
 	}
 	return f

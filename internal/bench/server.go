@@ -29,6 +29,10 @@ type ServerConfig struct {
 	KeyRange int64
 	Duration time.Duration
 	Seed     uint64
+	// Shards splits the store into that many independent SMR domains
+	// (<=1 keeps the unsharded baseline map); above 1 the per-shard
+	// health monitor runs too, matching smrcached's -shards posture.
+	Shards int
 }
 
 // ServerResult is one end-to-end server measurement.
@@ -75,6 +79,10 @@ func RunServer(cfg ServerConfig) ServerResult {
 		PanicPolicy:  hpbrcu.PanicRecover,
 		Reaper:       hpbrcu.ReaperConfig{Enabled: true},
 		Backpressure: hpbrcu.BackpressureConfig{Enabled: true},
+		Shards: hpbrcu.ShardsConfig{
+			Count:  cfg.Shards,
+			Health: hpbrcu.ShardHealthConfig{Enabled: cfg.Shards > 1},
+		},
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: server map: %v", err))
@@ -82,7 +90,7 @@ func RunServer(cfg ServerConfig) ServerResult {
 	for k := int64(0); k < cfg.KeyRange/2; k++ {
 		m.Insert(k*2, k)
 	}
-	m.Stats().Unreclaimed.ResetPeak()
+	hpbrcu.ResetUnreclaimedPeaks(m)
 
 	s, err := server.New(server.Config{Map: m, RetryAfter: 2 * time.Millisecond})
 	if err != nil {
@@ -108,7 +116,7 @@ func RunServer(cfg ServerConfig) ServerResult {
 		panic(fmt.Sprintf("bench: loadgen: %v", err))
 	}
 
-	snap := m.Stats().Snapshot()
+	snap := hpbrcu.AggregateSnapshot(m)
 	bound := hpbrcu.GarbageBoundObserved(m)
 	out := ServerResult{
 		Completed:       res.OK + res.Miss,
@@ -146,22 +154,28 @@ func BenchServer(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("server")
 	for _, rate := range cfg.Rates {
-		workload := fmt.Sprintf("tcp/rate=%05d/conns=%02d", rate, cfg.Conns)
-		for _, s := range cfg.Schemes {
-			res := RunServer(ServerConfig{
-				Scheme: s, Rate: rate, Conns: cfg.Conns,
-				KeyRange: 1024, Duration: cfg.Duration, Seed: cfg.Seed,
-			})
-			f.Points = append(f.Points, BenchPoint{
-				Workload:        workload,
-				Scheme:          s.String(),
-				OpsPerSec:       res.Throughput(),
-				PeakUnreclaimed: res.PeakUnreclaimed,
-				P99CSNanos:      res.CSP99,
-				Bound:           res.Bound,
-				P99Nanos:        res.P99,
-				P999Nanos:       res.P999,
-			})
+		for _, nsh := range cfg.Shards {
+			workload := fmt.Sprintf("tcp/rate=%05d/conns=%02d", rate, cfg.Conns)
+			if nsh > 1 {
+				workload += fmt.Sprintf("/shards=%d", nsh)
+			}
+			for _, s := range shardSchemes(cfg.Schemes, nsh) {
+				res := RunServer(ServerConfig{
+					Scheme: s, Rate: rate, Conns: cfg.Conns,
+					KeyRange: 1024, Duration: cfg.Duration, Seed: cfg.Seed,
+					Shards: nsh,
+				})
+				f.Points = append(f.Points, BenchPoint{
+					Workload:        workload,
+					Scheme:          s.String(),
+					OpsPerSec:       res.Throughput(),
+					PeakUnreclaimed: res.PeakUnreclaimed,
+					P99CSNanos:      res.CSP99,
+					Bound:           res.Bound,
+					P99Nanos:        res.P99,
+					P999Nanos:       res.P999,
+				})
+			}
 		}
 	}
 	return f

@@ -17,8 +17,10 @@ package brcu
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/smrgo/hpbrcu/internal/fault"
 	"github.com/smrgo/hpbrcu/internal/obs"
 )
 
@@ -56,6 +58,10 @@ type WatchdogConfig struct {
 	// that frees what the drain moved into the watchdog's retired batch).
 	// Called from the watchdog goroutine.
 	PostDrain func()
+	// ShardID labels this watchdog's domain shard for shard-targeted
+	// fault injection (fault.SiteShardStall) and diagnostics.
+	// Single-domain deployments leave it 0.
+	ShardID int
 }
 
 // Watchdog is a running monitor; see StartWatchdog.
@@ -65,6 +71,10 @@ type Watchdog struct {
 
 	h         *Handle
 	ownHandle bool
+
+	// ticks counts completed health checks; the shard health monitor
+	// reads it as the watchdog-liveness signal.
+	ticks atomic.Int64
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -111,6 +121,11 @@ func (w *Watchdog) Stop() {
 	})
 }
 
+// Ticks returns the number of completed health checks. Safe to read
+// concurrently with the running goroutine; the shard health monitor uses
+// it as the watchdog-liveness probe.
+func (w *Watchdog) Ticks() int64 { return w.ticks.Load() }
+
 // bound is the §5 bound with the observed peak N and the caller-supplied H.
 func (w *Watchdog) bound() int64 {
 	b := w.d.GarbageBoundObserved()
@@ -134,6 +149,16 @@ func (w *Watchdog) run() {
 			return
 		case <-ticker.C:
 		}
+		// Shard-wedge injection: a fired stall skips this health check
+		// entirely — no tick published, no escalation, no sweep — so a
+		// Period-1 plan freezes the watchdog as dead as a wedged goroutine,
+		// deterministically and wall-clock independently. That is the full
+		// "dead janitors" failure the shard health monitor must detect.
+		// Dynamic gate: this goroutine outlives Activate/Deactivate.
+		if fault.FireShard(fault.SiteShardStall, w.cfg.ShardID) {
+			continue
+		}
+		w.ticks.Add(1)
 
 		e := d.epoch.Load()
 		queued := d.pendingBatches()

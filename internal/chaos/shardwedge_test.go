@@ -1,0 +1,38 @@
+package chaos
+
+import "testing"
+
+// TestShardWedgeSharded runs one sharded shard-wedge scenario end to end:
+// quarantine verdict, write shedding, healthy-shard progress, recovery,
+// balanced books.
+func TestShardWedgeSharded(t *testing.T) {
+	res := RunShardWedge(ShardWedgeScenario{Shards: 4, Seed: 1})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Quarantines < 1 || res.Recoveries < 1 {
+		t.Errorf("quarantines=%d recoveries=%d, want at least one of each", res.Quarantines, res.Recoveries)
+	}
+	if res.HealthyAdvanceMin <= 0 {
+		t.Errorf("HealthyAdvanceMin = %d, want > 0 (healthy shards must advance during the wedge)", res.HealthyAdvanceMin)
+	}
+}
+
+// TestShardWedgeControl runs the unsharded control: the same wedge
+// freezes reap service map-wide (leaks pile up unreaped) and converges
+// only after the janitors resume.
+func TestShardWedgeControl(t *testing.T) {
+	res := RunShardWedge(ShardWedgeScenario{Shards: 1, Seed: 1})
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.WedgeLeaks < 1 {
+		t.Errorf("WedgeLeaks = %d, want >= 1 (the wedge window must see leaks)", res.WedgeLeaks)
+	}
+	if res.Quarantines != 0 {
+		t.Errorf("Quarantines = %d on an unsharded map, want 0", res.Quarantines)
+	}
+	if res.Reaped < res.Leaked {
+		t.Errorf("reaped=%d < leaked=%d after convergence", res.Reaped, res.Leaked)
+	}
+}

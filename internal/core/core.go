@@ -63,6 +63,11 @@ type Config struct {
 	// PanicPolicy selects what the recover barrier does with panics that
 	// escape user code inside critical sections (default PanicRethrow).
 	PanicPolicy PanicPolicy
+	// ShardID labels this domain's shard in a sharded deployment: it is
+	// forwarded to the per-shard reaper and watchdog for shard-targeted
+	// fault injection and surfaces in diagnostics. Single-domain
+	// deployments leave it 0.
+	ShardID int
 }
 
 // Domain owns one HP-(B)RCU instance: an HP domain plus an RCU or BRCU
@@ -70,6 +75,7 @@ type Config struct {
 type Domain struct {
 	backend      Backend
 	backupPeriod int
+	shardID      int
 	rec          *stats.Reclamation
 
 	HP   *hp.Domain
@@ -102,6 +108,7 @@ func NewDomain(backend Backend, cfg Config) *Domain {
 	d := &Domain{
 		backend:      backend,
 		backupPeriod: cfg.BackupPeriod,
+		shardID:      cfg.ShardID,
 		rec:          rec,
 		HP:           hp.NewDomain(rec, hp.WithScanThreshold(cfg.ScanThreshold)),
 		policy:       cfg.PanicPolicy,
@@ -127,6 +134,24 @@ func (d *Domain) Stats() *stats.Reclamation { return d.rec }
 
 // Backend reports which RCU powers this domain.
 func (d *Domain) Backend() Backend { return d.backend }
+
+// ShardID reports the shard label this domain was configured with.
+func (d *Domain) ShardID() int { return d.shardID }
+
+// Epoch returns the BRCU global epoch (0 for RCU-backed domains). The
+// shard health monitor reads it as the epoch-progress probe.
+func (d *Domain) Epoch() uint64 {
+	if d.brcu == nil {
+		return 0
+	}
+	return d.brcu.Epoch()
+}
+
+// RegisterService registers an exempt service handle: the lease reaper
+// never quarantines it even when its lease goes stale, so long-lived and
+// mostly-idle maintenance goroutines (the shard health monitor's recovery
+// loop) can hold one across arbitrary quiet spans.
+func (d *Domain) RegisterService() *Handle { return d.register(true) }
 
 // GarbageBound returns the §5 bound 2GN + GN² + H on unreclaimed nodes for
 // a BRCU-backed domain with the given shield count H; it returns -1 for an
@@ -217,9 +242,14 @@ func (d *Domain) StartWatchdog(interval time.Duration, fraction float64) *Watchd
 		Shields:   d.HP.Shields,
 		Handle:    h.brcu,
 		PostDrain: h.HP.Reclaim,
+		ShardID:   d.shardID,
 	})
 	return &Watchdog{w: w, h: h}
 }
+
+// Ticks returns the number of completed watchdog health checks; the shard
+// health monitor reads it as the watchdog-liveness probe.
+func (w *Watchdog) Ticks() int64 { return w.w.Ticks() }
 
 // Stop terminates the watchdog and releases its handle. Idempotent and
 // safe to call concurrently (Once.Do blocks losers until the winner has

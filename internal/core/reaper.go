@@ -68,9 +68,14 @@ func (d *Domain) StartReaper(cfg ReaperConfig) *Reaper {
 		Grace:        cfg.Grace,
 		Rec:          d.rec,
 		BP:           d.bp,
+		ShardID:      d.shardID,
 	})
 	return &Reaper{r: r, h: h}
 }
+
+// Ticks returns the number of completed reaper passes; the shard health
+// monitor reads it as the reaper-liveness probe.
+func (r *Reaper) Ticks() int64 { return r.r.Ticks() }
 
 // Stop terminates the reaper and releases its handle. Idempotent and
 // safe to call concurrently (Once.Do blocks losers until the winner has

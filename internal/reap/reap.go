@@ -44,8 +44,10 @@ package reap
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/smrgo/hpbrcu/internal/fault"
 	"github.com/smrgo/hpbrcu/internal/obs"
 	"github.com/smrgo/hpbrcu/internal/stats"
 )
@@ -123,6 +125,10 @@ type Config struct {
 	// thresholds track the observed thread count, and its throttle and
 	// reject counters are mirrored into the event trace.
 	BP *Backpressure
+	// ShardID labels this reaper's domain shard for shard-targeted fault
+	// injection (fault.SiteShardStall) and diagnostics. Single-domain
+	// deployments leave it 0.
+	ShardID int
 }
 
 // quarantine is one pending phase-one entry: when it started and the
@@ -160,6 +166,11 @@ type Reaper struct {
 	// last* remember the counter levels already mirrored into the trace.
 	lastThrottles int64
 	lastRejects   int64
+
+	// ticks counts completed reaper passes; the shard health monitor
+	// reads it as the reaper-liveness signal (a frozen counter across
+	// probe windows means the janitor goroutine is wedged or dead).
+	ticks atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -222,6 +233,16 @@ func (r *Reaper) run() {
 			return
 		case <-ticker.C:
 		}
+		// The shard-wedge injection point: a fired stall skips this pass
+		// entirely — no clock published, no adoption, no tick counted — so
+		// a Period-1 plan freezes the reaper as dead as a wedged goroutine,
+		// deterministically: leases age, adoption stops, and the shard's
+		// health verdict sees a dead janitor. FireShard reads the injector
+		// through the atomic gate — this goroutine outlives
+		// Activate/Deactivate.
+		if fault.FireShard(fault.SiteShardStall, r.cfg.ShardID) {
+			continue
+		}
 		r.tick(time.Now().UnixNano())
 	}
 }
@@ -229,6 +250,7 @@ func (r *Reaper) run() {
 // tick is one reaper pass; factored out of run with an explicit clock so
 // tests can drive the protocol deterministically.
 func (r *Reaper) tick(now int64) {
+	defer r.ticks.Add(1)
 	r.tgt.PublishClock(now)
 	vs := r.tgt.Victims()
 
@@ -359,3 +381,8 @@ func (r *Reaper) tick(now int64) {
 // for tick-driven tests: once the reaper goroutine runs, the map belongs
 // to it alone.
 func (r *Reaper) Quarantined() int { return len(r.quarantined) }
+
+// Ticks returns the number of completed reaper passes. Safe to read
+// concurrently with the running goroutine; the shard health monitor uses
+// it as the reaper-liveness probe.
+func (r *Reaper) Ticks() int64 { return r.ticks.Load() }

@@ -252,7 +252,11 @@ func (s *Server) acceptLoop() {
 // the reject tier, each tick closes the newest connection above the
 // MinConns floor. Newest-first preserves the oldest (presumably
 // productive) sessions, and one-per-tick keeps the shedding gentle
-// enough to stop as soon as pressure recedes.
+// enough to stop as soon as pressure recedes. The gate is the MEAN
+// shard pressure, not the worst: rung 3 is a whole-service measure
+// (it sheds connections, which touch every shard), so a single
+// quarantined shard must not cost healthy shards their clients. On an
+// unsharded map mean and worst coincide, so behaviour is unchanged.
 func (s *Server) governor() {
 	defer close(s.governorDone)
 	t := time.NewTicker(s.cfg.LadderInterval)
@@ -263,7 +267,8 @@ func (s *Server) governor() {
 			return
 		case <-t.C:
 		}
-		if s.draining.Load() || hpbrcu.Pressure(s.m) < hpbrcu.PressureReject {
+		_, mean := hpbrcu.PressureStat(s.m)
+		if s.draining.Load() || mean < hpbrcu.PressureReject {
 			continue
 		}
 		s.mu.Lock()
@@ -406,20 +411,22 @@ func (s *Server) dispatch(c *conn, line string) (reply string, quit bool) {
 		return replySimple("OK"), false
 
 	case cmdDel:
+		key, aerr := req.int64Arg(0)
+		if aerr != nil {
+			return replyErr(aerr.Error()), false
+		}
 		// Remove has no admission gate of its own (it only produces
 		// garbage, never allocates), so deletes get a proactive rung-2
 		// check at the reject tier — the one rung where a write would
-		// certainly have been refused.
-		if level >= hpbrcu.PressureReject {
+		// certainly have been refused. The check is per-key: on a sharded
+		// map only the owning shard's rung matters, so one overloaded
+		// shard never sheds every key's deletes.
+		if hpbrcu.KeyPressure(s.m, key) >= hpbrcu.PressureReject {
 			s.rec.RejectedWrites.Inc()
 			if obs.On {
 				c.trace.Rec(obs.EvShed, 2)
 			}
 			return replyBusy(s.cfg.RetryAfter), false
-		}
-		key, aerr := req.int64Arg(0)
-		if aerr != nil {
-			return replyErr(aerr.Error()), false
 		}
 		_, ok, derr := s.m.Remove(key)
 		if derr != nil {
@@ -506,16 +513,22 @@ func (s *Server) errReply(c *conn, err error) (reply string, quit bool) {
 }
 
 // StatsLines renders the service counters as "name=value" rows — the
-// STATS reply, and the final dump smrcached prints after a drain.
+// STATS reply, and the final dump smrcached prints after a drain. On a
+// sharded map the map-wide counters come from AggregateSnapshot (sums
+// across shards), and one pressure/health row per shard follows the
+// aggregate block so an operator can see WHICH shard is degraded, not
+// just that something is.
 func (s *Server) StatsLines() []string {
-	snap := s.rec.Snapshot()
+	snap := hpbrcu.AggregateSnapshot(s.m)
 	s.mu.Lock()
 	live := len(s.conns)
 	s.mu.Unlock()
+	worst, mean := hpbrcu.PressureStat(s.m)
 	rows := []string{
 		fmt.Sprintf("accepted_conns=%d", snap.AcceptedConns),
 		fmt.Sprintf("live_conns=%d", live),
-		fmt.Sprintf("pressure=%s", hpbrcu.Pressure(s.m)),
+		fmt.Sprintf("pressure=%s", worst),
+		fmt.Sprintf("pressure_mean=%s", mean),
 		fmt.Sprintf("shed_scans=%d", snap.ShedScans),
 		fmt.Sprintf("rejected_writes=%d", snap.RejectedWrites),
 		fmt.Sprintf("closed_by_ladder=%d", snap.ClosedByLadder),
@@ -528,6 +541,19 @@ func (s *Server) StatsLines() []string {
 		fmt.Sprintf("retired=%d", snap.Retired),
 		fmt.Sprintf("reclaimed=%d", snap.Reclaimed),
 		fmt.Sprintf("unreclaimed=%d", snap.Unreclaimed),
+		fmt.Sprintf("shard_quarantines=%d", snap.ShardQuarantines),
+		fmt.Sprintf("shard_recoveries=%d", snap.ShardRecoveries),
+	}
+	for _, sp := range hpbrcu.ShardPressures(s.m) {
+		q := 0
+		if sp.Quarantined {
+			q = 1
+		}
+		rows = append(rows,
+			fmt.Sprintf("shard%d_pressure=%s", sp.Shard, sp.Level),
+			fmt.Sprintf("shard%d_quarantined=%d", sp.Shard, q),
+			fmt.Sprintf("shard%d_unreclaimed=%d", sp.Shard, sp.Unreclaimed),
+		)
 	}
 	return rows
 }
@@ -539,12 +565,24 @@ func (s *Server) ServiceStats() map[string]any {
 	s.mu.Lock()
 	live := len(s.conns)
 	s.mu.Unlock()
+	worst, mean := hpbrcu.PressureStat(s.m)
+	shards := make([]map[string]any, 0, 1)
+	for _, sp := range hpbrcu.ShardPressures(s.m) {
+		shards = append(shards, map[string]any{
+			"Shard":       sp.Shard,
+			"Pressure":    sp.Level.String(),
+			"Quarantined": sp.Quarantined,
+			"Unreclaimed": sp.Unreclaimed,
+		})
+	}
 	return map[string]any{
 		"LiveConns":       live,
 		"Inflight":        s.inflight.Load(),
 		"InflightRejects": s.inflightRejects.Load(),
 		"ConnPanics":      s.connPanics.Load(),
-		"Pressure":        hpbrcu.Pressure(s.m).String(),
+		"Pressure":        worst.String(),
+		"PressureMean":    mean.String(),
+		"Shards":          shards,
 	}
 }
 

@@ -1,0 +1,374 @@
+// Package shard implements the per-shard health monitor behind a sharded
+// HP-BRCU deployment (DESIGN.md §15).
+//
+// A sharded map runs one complete, independent domain per shard — its own
+// epoch clock, handle registry, reaper, watchdog and backpressure books —
+// so a wedged shard can only hurt the keys it owns. What sharding alone
+// cannot do is *tell* anyone a shard is wedged: a dead reaper goroutine or
+// a stalled epoch quietly pins that shard's garbage while the facade keeps
+// routing fresh writes into it. The monitor closes that loop:
+//
+//   - every probe interval it reads three signals per shard — epoch-advance
+//     progress, janitor liveness (reaper and watchdog tick counters) and
+//     the books delta (the unreclaimed gauge's direction);
+//   - a shard whose janitors froze, or whose garbage grows while its epoch
+//     stands still, accumulates strikes — one streak per signal, so the
+//     quarantine verdict (StallThreshold consecutive strikes of the SAME
+//     signal) means that signal was frozen across the whole span, and
+//     unrelated scheduler jitter on different signals never chains into a
+//     false verdict;
+//   - a quarantined shard stops receiving new write traffic (the facade
+//     checks Quarantined before Insert/TryInsert/Remove and sheds with a
+//     typed error the load-shedding predicates recognize), while reads
+//     pass through — a read neither allocates nor retires, so it cannot
+//     deepen the wedge;
+//   - the monitor keeps a recovery loop running against the quarantined
+//     shard: each probe it forces a flush-advance-reclaim round through a
+//     service handle (the same escalation the watchdog's broadcast path
+//     uses), so a shard whose janitors merely stalled drains its backlog
+//     the moment they resume;
+//   - RecoverThreshold consecutive healthy probes is the rejoin verdict:
+//     the shard atomically resumes taking writes.
+//
+// The verdicts are deliberately conservative in the healthy direction: an
+// idle shard (no traffic, epoch parked, zero garbage) is healthy, and a
+// shard under steady load whose gauge plateaus below its bound is healthy
+// too — only the combination "garbage grows AND epoch frozen" or "janitor
+// tick counters frozen" strikes. That keeps false quarantines out of
+// quiet deployments while still catching the two real failure shapes: a
+// dead maintenance goroutine and a wedged epoch.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/smrgo/hpbrcu/internal/obs"
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// Monitor defaults. The probe interval is long relative to the janitors'
+// own ticks (reaper 5ms, watchdog 1ms), so one probe window spans many
+// expected ticks and a frozen counter is a real signal, not jitter.
+const (
+	DefaultInterval         = 10 * time.Millisecond
+	DefaultStallThreshold   = 3
+	DefaultRecoverThreshold = 3
+)
+
+// Probe is the monitor's view of one shard: a bundle of read-only signal
+// closures plus the recovery hook. All closures must be safe to call from
+// the monitor goroutine; nil closures disable their signal.
+type Probe struct {
+	// Epoch returns the shard's global epoch clock.
+	Epoch func() uint64
+	// Advances returns the shard's cumulative epoch-advance count.
+	Advances func() int64
+	// Unreclaimed returns the shard's retired-not-yet-reclaimed gauge.
+	Unreclaimed func() int64
+	// ReaperTicks returns the shard reaper's completed-pass counter (nil
+	// when the shard runs no reaper).
+	ReaperTicks func() int64
+	// WatchdogTicks returns the shard watchdog's completed-check counter
+	// (nil when the shard runs no watchdog).
+	WatchdogTicks func() int64
+	// Recover forces one escalated reclamation round on the shard —
+	// flush, force-advance, shield scan — through a service handle. The
+	// monitor calls it once per probe while the shard is quarantined.
+	Recover func()
+	// WedgeFloor returns the backlog below which the epoch-wedge signal
+	// is suppressed (nil or non-positive disables the floor). At modest
+	// throughput epoch advances are legitimately rare — retires below a
+	// batch boundary need no advance — so "no advance + unreclaimed
+	// grew" over a small backlog is normal operation, not a wedge. A
+	// true epoch wedge keeps accumulating and crosses any reasonable
+	// floor; the caller wires the backpressure drain tier (or half the
+	// §5 bound), the point where the backlog already demands service.
+	WedgeFloor func() int64
+}
+
+// Config configures StartMonitor. Zero values select the defaults above.
+type Config struct {
+	// Interval between health probes.
+	Interval time.Duration
+	// StallThreshold is how many consecutive unhealthy probes quarantine
+	// a shard.
+	StallThreshold int
+	// RecoverThreshold is how many consecutive healthy probes rejoin a
+	// quarantined shard.
+	RecoverThreshold int
+	// Rec receives ShardQuarantines/ShardRecoveries counts (nil allocates
+	// a private one).
+	Rec *stats.Reclamation
+}
+
+// Health is one shard's externally visible verdict.
+type Health struct {
+	// Shard is the shard id (index into the monitor's probe slice).
+	Shard int
+	// Quarantined reports whether the shard is currently shedding writes.
+	Quarantined bool
+	// Strikes is the worst per-signal consecutive-strike streak (each
+	// signal — reaper ticks, watchdog ticks, epoch wedge — resets its own
+	// streak the moment it moves again).
+	Strikes int
+	// Epoch and Unreclaimed are the signal values at the last probe.
+	Epoch       uint64
+	Unreclaimed int64
+}
+
+// shardState is the monitor's book-keeping for one shard. quarantined is
+// the only field read outside the monitor goroutine (by the facade's
+// routing check and Snapshot), hence atomic; the rest is goroutine-local.
+type shardState struct {
+	quarantined atomic.Bool
+
+	lastAdvances    int64
+	lastUnreclaimed int64
+	lastReaperTicks int64
+	lastWdTicks     int64
+	// Per-signal strike streaks. Kept separate so the quarantine verdict
+	// requires ONE signal frozen across the whole threshold span: with a
+	// shared counter, scheduler jitter that freezes the reaper in one
+	// window and the watchdog in the next would chain into a verdict even
+	// though every janitor ticked within any two-window span.
+	reaperStrikes int
+	wdStrikes     int
+	wedgeStrikes  int
+	healthy       int
+
+	// lastEpoch/lastSeen mirror the most recent probe for Snapshot; they
+	// are written under mu.
+	lastEpoch uint64
+	lastSeen  int64
+}
+
+// maxStrikes is the worst single-signal streak — the quarantine metric.
+func (st *shardState) maxStrikes() int {
+	s := st.reaperStrikes
+	if st.wdStrikes > s {
+		s = st.wdStrikes
+	}
+	if st.wedgeStrikes > s {
+		s = st.wedgeStrikes
+	}
+	return s
+}
+
+// Monitor is a running shard health monitor; see StartMonitor.
+type Monitor struct {
+	probes []Probe
+	cfg    Config
+	state  []*shardState
+
+	// mu guards the Snapshot-visible mirror fields of shardState.
+	mu    sync.Mutex
+	trace *obs.Trace
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartMonitor launches the health-probe goroutine over one probe per
+// shard. Stop it with Stop before tearing the shards down.
+func StartMonitor(probes []Probe, cfg Config) *Monitor {
+	m := NewMonitor(probes, cfg)
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+// NewMonitor builds a monitor without launching the goroutine; tick-driven
+// tests call Tick directly.
+func NewMonitor(probes []Probe, cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.StallThreshold <= 0 {
+		cfg.StallThreshold = DefaultStallThreshold
+	}
+	if cfg.RecoverThreshold <= 0 {
+		cfg.RecoverThreshold = DefaultRecoverThreshold
+	}
+	if cfg.Rec == nil {
+		cfg.Rec = &stats.Reclamation{}
+	}
+	m := &Monitor{probes: probes, cfg: cfg, stop: make(chan struct{})}
+	m.state = make([]*shardState, len(probes))
+	for i := range m.state {
+		m.state[i] = &shardState{}
+	}
+	if obs.On {
+		m.trace = obs.NewTrace("shardmon")
+	}
+	// Prime the deltas so the first real probe compares against the state
+	// at start, not against zero (a shard that did work before the monitor
+	// started would otherwise look spuriously healthy or sick).
+	for i := range probes {
+		m.prime(i)
+	}
+	return m
+}
+
+func (m *Monitor) prime(i int) {
+	p, st := &m.probes[i], m.state[i]
+	if p.Advances != nil {
+		st.lastAdvances = p.Advances()
+	}
+	if p.Unreclaimed != nil {
+		st.lastUnreclaimed = p.Unreclaimed()
+	}
+	if p.ReaperTicks != nil {
+		st.lastReaperTicks = p.ReaperTicks()
+	}
+	if p.WatchdogTicks != nil {
+		st.lastWdTicks = p.WatchdogTicks()
+	}
+}
+
+// Stop terminates the monitor and waits for it to exit. Idempotent and
+// safe to call concurrently.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// Quarantined reports whether shard i is currently quarantined. Safe from
+// any goroutine; the facade's write paths call it per operation.
+func (m *Monitor) Quarantined(i int) bool {
+	return m.state[i].quarantined.Load()
+}
+
+// Snapshot returns every shard's current verdict.
+func (m *Monitor) Snapshot() []Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Health, len(m.state))
+	for i, st := range m.state {
+		out[i] = Health{
+			Shard:       i,
+			Quarantined: st.quarantined.Load(),
+			Strikes:     st.maxStrikes(),
+			Epoch:       st.lastEpoch,
+			Unreclaimed: st.lastSeen,
+		}
+	}
+	return out
+}
+
+func (m *Monitor) run() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		m.Tick()
+	}
+}
+
+// Tick runs one probe pass over every shard. Exported for tick-driven
+// tests; the running goroutine calls it once per interval.
+func (m *Monitor) Tick() {
+	for i := range m.probes {
+		m.probeShard(i)
+	}
+}
+
+func (m *Monitor) probeShard(i int) {
+	p, st := &m.probes[i], m.state[i]
+
+	var advances, unreclaimed, rticks, wticks int64
+	var epoch uint64
+	if p.Epoch != nil {
+		epoch = p.Epoch()
+	}
+	if p.Advances != nil {
+		advances = p.Advances()
+	}
+	if p.Unreclaimed != nil {
+		unreclaimed = p.Unreclaimed()
+	}
+	if p.ReaperTicks != nil {
+		rticks = p.ReaperTicks()
+	}
+	if p.WatchdogTicks != nil {
+		wticks = p.WatchdogTicks()
+	}
+
+	// The two failure shapes. Janitor death: a tick counter that did not
+	// move across a whole probe window (the window spans many expected
+	// ticks). Epoch wedge: the unreclaimed gauge grew while the epoch
+	// clock recorded no advance — garbage is arriving and nothing is
+	// expiring it. Each signal keeps its own consecutive-window streak,
+	// so the verdict means "this signal was frozen for the whole
+	// StallThreshold span", never an accumulation of unrelated jitter.
+	reaperFrozen := p.ReaperTicks != nil && rticks == st.lastReaperTicks
+	wdFrozen := p.WatchdogTicks != nil && wticks == st.lastWdTicks
+	// The epoch-wedge signal is harm-gated by WedgeFloor: below the
+	// floor the backlog is within normal batch accumulation and advances
+	// are not owed, so growth alone proves nothing.
+	var floor int64
+	if p.WedgeFloor != nil {
+		floor = p.WedgeFloor()
+	}
+	epochWedged := p.Advances != nil && advances == st.lastAdvances &&
+		unreclaimed > st.lastUnreclaimed && unreclaimed >= floor
+
+	st.lastAdvances = advances
+	st.lastUnreclaimed = unreclaimed
+	st.lastReaperTicks = rticks
+	st.lastWdTicks = wticks
+
+	streak := func(hit bool, c *int) {
+		if hit {
+			*c++
+		} else {
+			*c = 0
+		}
+	}
+	streak(reaperFrozen, &st.reaperStrikes)
+	streak(wdFrozen, &st.wdStrikes)
+	streak(epochWedged, &st.wedgeStrikes)
+
+	if reaperFrozen || wdFrozen || epochWedged {
+		st.healthy = 0
+	} else {
+		st.healthy++
+	}
+
+	switch {
+	case !st.quarantined.Load() && st.maxStrikes() >= m.cfg.StallThreshold:
+		st.quarantined.Store(true)
+		st.healthy = 0
+		m.cfg.Rec.ShardQuarantines.Inc()
+		if m.trace != nil {
+			m.trace.Rec(obs.EvShardQuarantine, int64(i))
+		}
+	case st.quarantined.Load():
+		// Recovery loop: force a reclamation round every probe so a shard
+		// whose janitors resume (or merely stalled) drains its backlog,
+		// then rejoin after a full healthy streak.
+		if p.Recover != nil {
+			p.Recover()
+		}
+		if st.healthy >= m.cfg.RecoverThreshold {
+			st.quarantined.Store(false)
+			st.reaperStrikes, st.wdStrikes, st.wedgeStrikes = 0, 0, 0
+			m.cfg.Rec.ShardRecoveries.Inc()
+			if m.trace != nil {
+				m.trace.Rec(obs.EvShardRecover, int64(i))
+			}
+		}
+	}
+
+	m.mu.Lock()
+	st.lastEpoch = epoch
+	st.lastSeen = unreclaimed
+	m.mu.Unlock()
+}

@@ -1,0 +1,202 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/smrgo/hpbrcu/internal/stats"
+)
+
+// fakeShard is a deterministic probe target the tests drive by hand.
+type fakeShard struct {
+	epoch       uint64
+	advances    int64
+	unreclaimed int64
+	reaperTicks int64
+	wdTicks     int64
+	recovers    int
+}
+
+func (f *fakeShard) probe() Probe {
+	return Probe{
+		Epoch:         func() uint64 { return f.epoch },
+		Advances:      func() int64 { return f.advances },
+		Unreclaimed:   func() int64 { return f.unreclaimed },
+		ReaperTicks:   func() int64 { return f.reaperTicks },
+		WatchdogTicks: func() int64 { return f.wdTicks },
+		Recover:       func() { f.recovers++ },
+	}
+}
+
+// healthyStep advances every liveness signal, as a working shard would
+// between probes.
+func (f *fakeShard) healthyStep() {
+	f.epoch++
+	f.advances++
+	f.reaperTicks++
+	f.wdTicks++
+}
+
+func newTestMonitor(t *testing.T, shards []*fakeShard) (*Monitor, *stats.Reclamation) {
+	t.Helper()
+	probes := make([]Probe, len(shards))
+	for i, f := range shards {
+		probes[i] = f.probe()
+	}
+	rec := &stats.Reclamation{}
+	return NewMonitor(probes, Config{
+		StallThreshold:   3,
+		RecoverThreshold: 2,
+		Rec:              rec,
+	}), rec
+}
+
+func TestMonitorHealthyShardsStayIn(t *testing.T) {
+	shards := []*fakeShard{{}, {}}
+	m, rec := newTestMonitor(t, shards)
+	for i := 0; i < 20; i++ {
+		for _, f := range shards {
+			f.healthyStep()
+		}
+		m.Tick()
+	}
+	for i := range shards {
+		if m.Quarantined(i) {
+			t.Errorf("healthy shard %d quarantined", i)
+		}
+	}
+	if got := rec.ShardQuarantines.Load(); got != 0 {
+		t.Errorf("ShardQuarantines = %d, want 0", got)
+	}
+}
+
+// An idle shard — no traffic, epoch parked, zero garbage — must stay
+// healthy as long as its janitors keep ticking.
+func TestMonitorIdleShardNotQuarantined(t *testing.T) {
+	f := &fakeShard{}
+	m, _ := newTestMonitor(t, []*fakeShard{f})
+	for i := 0; i < 20; i++ {
+		f.reaperTicks++ // janitors alive, everything else frozen
+		f.wdTicks++
+		m.Tick()
+	}
+	if m.Quarantined(0) {
+		t.Error("idle shard with live janitors was quarantined")
+	}
+}
+
+// A plateaued shard — steady unreclaimed level, epoch parked — is also
+// healthy: only *growth* without advance is a wedge.
+func TestMonitorPlateauNotQuarantined(t *testing.T) {
+	f := &fakeShard{unreclaimed: 500}
+	m, _ := newTestMonitor(t, []*fakeShard{f})
+	for i := 0; i < 20; i++ {
+		f.reaperTicks++
+		f.wdTicks++
+		m.Tick()
+	}
+	if m.Quarantined(0) {
+		t.Error("plateaued shard was quarantined")
+	}
+}
+
+func TestMonitorDeadReaperQuarantinesAfterThreshold(t *testing.T) {
+	f := &fakeShard{}
+	m, rec := newTestMonitor(t, []*fakeShard{f})
+	// Everything moves except the reaper tick counter.
+	step := func() {
+		f.epoch++
+		f.advances++
+		f.wdTicks++
+		m.Tick()
+	}
+	step()
+	step()
+	if m.Quarantined(0) {
+		t.Fatal("quarantined before StallThreshold strikes")
+	}
+	step() // third strike
+	if !m.Quarantined(0) {
+		t.Fatal("dead reaper not quarantined after StallThreshold strikes")
+	}
+	if got := rec.ShardQuarantines.Load(); got != 1 {
+		t.Errorf("ShardQuarantines = %d, want 1", got)
+	}
+}
+
+func TestMonitorEpochWedgeQuarantines(t *testing.T) {
+	f := &fakeShard{}
+	m, _ := newTestMonitor(t, []*fakeShard{f})
+	// Janitors tick but the epoch is frozen while garbage grows.
+	for i := 0; i < 3; i++ {
+		f.reaperTicks++
+		f.wdTicks++
+		f.unreclaimed += 100
+		m.Tick()
+	}
+	if !m.Quarantined(0) {
+		t.Fatal("epoch wedge with growing garbage not quarantined")
+	}
+}
+
+func TestMonitorRecoveryRejoinsAndCountsRecovers(t *testing.T) {
+	f := &fakeShard{}
+	m, rec := newTestMonitor(t, []*fakeShard{f})
+	for i := 0; i < 3; i++ {
+		f.epoch++
+		f.advances++
+		f.wdTicks++ // reaper dead
+		m.Tick()
+	}
+	if !m.Quarantined(0) {
+		t.Fatal("setup: shard not quarantined")
+	}
+
+	// While quarantined and still wedged, the recovery loop must run each
+	// probe and the shard must stay out.
+	m.Tick()
+	if f.recovers == 0 {
+		t.Fatal("recovery hook not invoked while quarantined")
+	}
+	if !m.Quarantined(0) {
+		t.Fatal("rejoined while reaper still dead")
+	}
+
+	// The reaper comes back: after RecoverThreshold healthy probes the
+	// shard rejoins.
+	for i := 0; i < 2; i++ {
+		f.healthyStep()
+		m.Tick()
+	}
+	if m.Quarantined(0) {
+		t.Fatal("shard did not rejoin after healthy streak")
+	}
+	if got := rec.ShardRecoveries.Load(); got != 1 {
+		t.Errorf("ShardRecoveries = %d, want 1", got)
+	}
+}
+
+// The isolation property at the monitor level: one wedged shard's verdict
+// never touches its peers' state.
+func TestMonitorIsolation(t *testing.T) {
+	shards := []*fakeShard{{}, {}, {}, {}}
+	m, _ := newTestMonitor(t, shards)
+	for i := 0; i < 10; i++ {
+		for j, f := range shards {
+			if j == 2 {
+				continue // shard 2 fully wedged: nothing moves
+			}
+			f.healthyStep()
+		}
+		m.Tick()
+	}
+	for j := range shards {
+		want := j == 2
+		if got := m.Quarantined(j); got != want {
+			t.Errorf("shard %d quarantined = %v, want %v", j, got, want)
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap) != 4 || !snap[2].Quarantined || snap[0].Quarantined {
+		t.Errorf("snapshot mismatch: %+v", snap)
+	}
+}

@@ -63,12 +63,17 @@ type PanicError = core.PanicError
 // there are no service goroutines or drain books; Close just stops
 // admission.
 func Close(m Map, timeout time.Duration) error {
-	impl, ok := m.(*mapImpl)
-	if !ok {
-		return nil
+	switch impl := m.(type) {
+	case *mapImpl:
+		impl.closeOnce.Do(func() { impl.closeErr = impl.doClose(timeout) })
+		return impl.closeErr
+	case *shardedMap:
+		// Sharded maps close every shard concurrently against the shared
+		// deadline; see shardedMap.doClose.
+		impl.closeOnce.Do(func() { impl.closeErr = impl.doClose(timeout) })
+		return impl.closeErr
 	}
-	impl.closeOnce.Do(func() { impl.closeErr = impl.doClose(timeout) })
-	return impl.closeErr
+	return nil
 }
 
 func (m *mapImpl) doClose(timeout time.Duration) error {

@@ -144,6 +144,11 @@ func NewHHSList(s Scheme, cfg Config) (Map, error) {
 }
 
 func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
+	if cfg.Shards.Count > 1 {
+		return newSharded(s, cfg, func(c Config) (Map, error) {
+			return newHarrisList(s, c, optimisticGet)
+		})
+	}
 	wrap := func(reg func() optimisticHandle) func() MapHandle {
 		if optimisticGet {
 			return func() MapHandle { return optimisticAsGet{reg()} }
@@ -181,6 +186,9 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 // (helping during traversal). Supported schemes: NR, RCU, HP, HP-RCU,
 // HP-BRCU. NBR does not apply (Table 1): the traversal performs writes.
 func NewHMList(s Scheme, cfg Config) (Map, error) {
+	if cfg.Shards.Count > 1 {
+		return newSharded(s, cfg, func(c Config) (Map, error) { return NewHMList(s, c) })
+	}
 	switch s {
 	case NR:
 		l := hmlist.NewNR()
@@ -207,6 +215,12 @@ func NewHMList(s Scheme, cfg Config) (Map, error) {
 func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 	if buckets < 1 {
 		buckets = 1
+	}
+	if n := cfg.Shards.Count; n > 1 {
+		// Each shard gets its proportional slice of the bucket budget, so
+		// a sharded map's total chain length matches the unsharded layout.
+		per := (buckets + n - 1) / n
+		return newSharded(s, cfg, func(c Config) (Map, error) { return NewHashMap(s, per, c) })
 	}
 	switch s {
 	case NR:
@@ -242,6 +256,9 @@ func DefaultBuckets(keyRange int64) int { return hashmap.DefaultBucketsFor(keyRa
 // schemes: NR, RCU, HP (helping get only), HP-RCU, HP-BRCU (wait-free-
 // style get for all non-HP schemes). NBR does not apply (Table 1).
 func NewSkipList(s Scheme, cfg Config) (Map, error) {
+	if cfg.Shards.Count > 1 {
+		return newSharded(s, cfg, func(c Config) (Map, error) { return NewSkipList(s, c) })
+	}
 	switch s {
 	case NR:
 		l := skiplist.NewNR()
@@ -266,6 +283,9 @@ func NewSkipList(s Scheme, cfg Config) (Map, error) {
 // Supported schemes: NR, RCU, NBR(-Large), HP-RCU, HP-BRCU. Plain HP does
 // not apply (Table 1).
 func NewNMTree(s Scheme, cfg Config) (Map, error) {
+	if cfg.Shards.Count > 1 {
+		return newSharded(s, cfg, func(c Config) (Map, error) { return NewNMTree(s, c) })
+	}
 	switch s {
 	case NR:
 		l := nmtree.NewNR()
@@ -288,9 +308,28 @@ func NewNMTree(s Scheme, cfg Config) (Map, error) {
 
 // GarbageBound returns the §5 robustness bound 2GN+GN²+H for an HP-BRCU
 // map, or -1 when m is not HP-BRCU-backed or the bound is unavailable.
+// For a sharded map the bound is the sum of the per-shard bounds plus the
+// caller's shields: each shard's garbage is bounded by its own domain's
+// 2GNᵢ+GNᵢ²+Hᵢ independently, so the global bound is Σᵢ boundᵢ.
 func GarbageBound(m Map, shields int) int64 {
-	if impl, ok := m.(*mapImpl); ok && impl.dom != nil {
-		return impl.dom.GarbageBound(shields)
+	switch impl := m.(type) {
+	case *mapImpl:
+		if impl.dom != nil {
+			return impl.dom.GarbageBound(shields)
+		}
+	case *shardedMap:
+		var total int64
+		for _, sh := range impl.shards {
+			if sh.dom == nil {
+				return -1
+			}
+			b := sh.dom.GarbageBound(0)
+			if b < 0 {
+				return -1
+			}
+			total += b
+		}
+		return total + int64(shields)
 	}
 	return -1
 }
@@ -299,10 +338,28 @@ func GarbageBound(m Map, shields int) int64 {
 // evaluated with the peak thread count N and peak registered-shield count
 // H the domain actually observed — the bound a finished run's
 // PeakUnreclaimed must respect. It returns -1 when m is not
-// HP-BRCU-backed.
+// HP-BRCU-backed. For a sharded map it is the sum of the per-shard
+// observed bounds (Σᵢ 2GNᵢ+GNᵢ²+Hᵢ): the shards' books are independent,
+// so their bounds add.
 func GarbageBoundObserved(m Map) int64 {
-	if impl, ok := m.(*mapImpl); ok && impl.dom != nil {
-		return impl.dom.GarbageBoundObserved()
+	switch impl := m.(type) {
+	case *mapImpl:
+		if impl.dom != nil {
+			return impl.dom.GarbageBoundObserved()
+		}
+	case *shardedMap:
+		var total int64
+		for _, sh := range impl.shards {
+			if sh.dom == nil {
+				return -1
+			}
+			b := sh.dom.GarbageBoundObserved()
+			if b < 0 {
+				return -1
+			}
+			total += b
+		}
+		return total
 	}
 	return -1
 }
@@ -315,8 +372,15 @@ func GarbageBoundObserved(m Map) int64 {
 // prefer it unless you need to stop the watchdog early while keeping the
 // map open.
 func StopWatchdog(m Map) {
-	if impl, ok := m.(*mapImpl); ok && impl.wd != nil {
-		impl.wd.Stop()
+	switch impl := m.(type) {
+	case *mapImpl:
+		if impl.wd != nil {
+			impl.wd.Stop()
+		}
+	case *shardedMap:
+		for _, sh := range impl.shards {
+			StopWatchdog(sh)
+		}
 	}
 }
 
@@ -328,7 +392,14 @@ func StopWatchdog(m Map) {
 // (after the drain, so it can keep adopting orphaned garbage); prefer it
 // unless you need to stop the reaper early while keeping the map open.
 func StopReaper(m Map) {
-	if impl, ok := m.(*mapImpl); ok && impl.rp != nil {
-		impl.rp.Stop()
+	switch impl := m.(type) {
+	case *mapImpl:
+		if impl.rp != nil {
+			impl.rp.Stop()
+		}
+	case *shardedMap:
+		for _, sh := range impl.shards {
+			StopReaper(sh)
+		}
 	}
 }

@@ -15,15 +15,17 @@ import (
 )
 
 // IsLoadShed reports whether err is one of the library's load-shed
-// signals: ErrMemoryPressure (the backpressure reject tier) or
+// signals: ErrMemoryPressure (the backpressure reject tier),
 // ErrHandleExhausted (every pooled facade handle stayed checked out
-// through the bounded wait). Both mean "the operation was refused to
-// protect the §5 garbage bound — back off and retry"; they are always
-// returned, never panicked. ErrClosed is NOT a load-shed signal: a
-// closed map will never accept the retry, so callers must tell the two
-// apart, and this predicate is how.
+// through the bounded wait), or ErrShardQuarantined (the key's owning
+// shard is wedged and shedding writes until it recovers). All three mean
+// "the operation was refused to protect the §5 garbage bound — back off
+// and retry"; they are always returned, never panicked. ErrClosed is NOT
+// a load-shed signal: a closed map will never accept the retry, so
+// callers must tell the two apart, and this predicate is how.
 func IsLoadShed(err error) bool {
-	return errors.Is(err, ErrMemoryPressure) || errors.Is(err, ErrHandleExhausted)
+	return errors.Is(err, ErrMemoryPressure) || errors.Is(err, ErrHandleExhausted) ||
+		errors.Is(err, ErrShardQuarantined)
 }
 
 // PressureLevel is a rung of the tiered-backpressure ladder
@@ -62,9 +64,104 @@ func (l PressureLevel) String() string {
 // without tiered backpressure (Config.Backpressure disabled, or a
 // scheme without an HP-BRCU domain) always report PressureOK — such
 // services still degrade reactively via IsLoadShed on operation errors.
+//
+// For a sharded map Pressure is the worst shard's rung — the
+// conservative signal for decisions that touch every shard (shedding a
+// SCAN, for instance, which reads all of them). PressureStat separates
+// the worst-shard and mean-shard views, and KeyPressure scopes the
+// signal to one key's owning shard, so a service can degrade one slice
+// of traffic instead of the whole map.
 func Pressure(m Map) PressureLevel {
-	if impl, ok := m.(*mapImpl); ok && impl.bp != nil {
-		return PressureLevel(impl.bp.Level())
+	switch impl := m.(type) {
+	case *mapImpl:
+		if impl.bp != nil {
+			return PressureLevel(impl.bp.Level())
+		}
+	case *shardedMap:
+		worst, _ := PressureStat(m)
+		return worst
 	}
 	return PressureOK
+}
+
+// PressureStat returns the worst-shard and mean-shard pressure rungs of
+// m. For unsharded maps both equal Pressure(m). Services aggregate the
+// two differently by rung: worst for decisions that touch every shard
+// (scan shedding), mean for whole-service actions (closing connections)
+// that would be an overreaction to one sick shard.
+func PressureStat(m Map) (worst, mean PressureLevel) {
+	sm, ok := m.(*shardedMap)
+	if !ok {
+		p := Pressure(m)
+		return p, p
+	}
+	var sum int
+	for _, sh := range sm.shards {
+		var p PressureLevel
+		if sh.bp != nil {
+			p = PressureLevel(sh.bp.Level())
+		}
+		if p > worst {
+			worst = p
+		}
+		sum += int(p)
+	}
+	return worst, PressureLevel(sum / len(sm.shards))
+}
+
+// KeyPressure returns the backpressure rung of the shard that owns key —
+// the right signal for proactive per-request decisions (rejecting a
+// write early) on a sharded map, where one wedged shard must not shed
+// every key's traffic. For unsharded maps it equals Pressure(m).
+func KeyPressure(m Map, key int64) PressureLevel {
+	if sm, ok := m.(*shardedMap); ok {
+		if sh := sm.shards[sm.shardFor(key)]; sh.bp != nil {
+			return PressureLevel(sh.bp.Level())
+		}
+		return PressureOK
+	}
+	return Pressure(m)
+}
+
+// ShardPressure is one shard's externally visible pressure and health
+// row, as reported by ShardPressures.
+type ShardPressure struct {
+	// Shard is the shard id.
+	Shard int
+	// Level is the shard's own backpressure rung.
+	Level PressureLevel
+	// Quarantined reports whether the health monitor is currently
+	// shedding the shard's writes.
+	Quarantined bool
+	// Unreclaimed is the shard's retired-not-yet-reclaimed gauge.
+	Unreclaimed int64
+}
+
+// ShardPressures returns one pressure/health row per shard, in shard
+// order — the data behind smrcached's per-shard STATS and /metrics rows.
+// For an unsharded map it returns a single row (shard 0, never
+// quarantined).
+func ShardPressures(m Map) []ShardPressure {
+	sm, ok := m.(*shardedMap)
+	if !ok {
+		return []ShardPressure{{
+			Shard:       0,
+			Level:       Pressure(m),
+			Unreclaimed: m.Stats().Unreclaimed.Load(),
+		}}
+	}
+	out := make([]ShardPressure, len(sm.shards))
+	for i, sh := range sm.shards {
+		var p PressureLevel
+		if sh.bp != nil {
+			p = PressureLevel(sh.bp.Level())
+		}
+		out[i] = ShardPressure{
+			Shard:       i,
+			Level:       p,
+			Quarantined: sm.quarantined(i),
+			Unreclaimed: sh.st().Unreclaimed.Load(),
+		}
+	}
+	return out
 }

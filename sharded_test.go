@@ -1,0 +1,315 @@
+package hpbrcu_test
+
+// Sharded-domain regression tests (DESIGN.md §15): cross-shard retire
+// routing under -race, per-shard book balancing, the Σ-over-shards §5
+// bound, and the quarantine state machine end to end (wedge → shed →
+// recover) against deterministic shard-stall injection.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	hpbrcu "github.com/smrgo/hpbrcu"
+	"github.com/smrgo/hpbrcu/internal/fault"
+)
+
+func shardedCfg(shards int) hpbrcu.Config {
+	return hpbrcu.Config{
+		Watchdog: true,
+		Reaper:   hpbrcu.ReaperConfig{Enabled: true},
+		Shards:   hpbrcu.ShardsConfig{Count: shards},
+	}
+}
+
+// keyOwnedBy returns a key routed to shard s, starting the scan at from
+// so callers can collect distinct keys.
+func keyOwnedBy(t *testing.T, m hpbrcu.Map, s int, from int64) int64 {
+	t.Helper()
+	for k := from; k < from+1<<16; k++ {
+		if hpbrcu.ShardOf(m, k) == s {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d", s)
+	return 0
+}
+
+// TestShardedRoutingCoversAllShards pins the hash routing: a dense key
+// range spreads over every shard, and the facade and registered APIs
+// agree on which shard owns a key (one write is visible through both).
+func TestShardedRoutingCoversAllShards(t *testing.T) {
+	m, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 256, shardedCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(m, 5*time.Second)
+
+	if got := hpbrcu.ShardCount(m); got != 8 {
+		t.Fatalf("ShardCount = %d, want 8", got)
+	}
+	seen := make([]int, 8)
+	for k := int64(0); k < 4096; k++ {
+		s := hpbrcu.ShardOf(m, k)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%d) = %d out of range", k, s)
+		}
+		seen[s]++
+	}
+	for s, n := range seen {
+		if n == 0 {
+			t.Errorf("shard %d received no keys from a dense 4096-key range", s)
+		}
+	}
+
+	h := m.Register()
+	defer h.Unregister()
+	for k := int64(0); k < 256; k++ {
+		if ok, err := m.Insert(k, k*10); err != nil || !ok {
+			t.Fatalf("facade Insert(%d): ok=%v err=%v", k, ok, err)
+		}
+		if v, ok := h.Get(k); !ok || v != k*10 {
+			t.Fatalf("handle Get(%d) = (%d,%v) after facade insert", k, v, ok)
+		}
+	}
+}
+
+// TestShardedCrossShardRetire is the cross-shard retire regression test:
+// concurrent composite handles insert and remove keys spanning every
+// shard, so each handle retires nodes into several shards' defer batches.
+// The pinning invariant demands that every shard's books balance
+// independently, the global bound be the sum of the per-shard bounds,
+// and Close drain all shards to zero.
+func TestShardedCrossShardRetire(t *testing.T) {
+	const shards = 4
+	m, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 256, shardedCfg(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 256, hpbrcu.Config{
+		Watchdog: true,
+		Reaper:   hpbrcu.ReaperConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(single, 5*time.Second)
+
+	// Σ-over-shards bound: each shard runs an identical config, so the
+	// sharded bound is exactly shards× the single-domain bound.
+	if sb, ub := hpbrcu.GarbageBound(m, 0), hpbrcu.GarbageBound(single, 0); sb != shards*ub {
+		t.Fatalf("GarbageBound sharded=%d, single=%d: want Σ over shards (=%d)", sb, ub, shards*ub)
+	}
+
+	const workers, ops, keyRange = 8, 3000, 512
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := m.Register()
+			defer h.Unregister()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				k := rng.Int63n(keyRange)
+				if rng.Intn(2) == 0 {
+					h.Insert(k, k)
+				} else {
+					h.Remove(k)
+				}
+			}
+			h.Barrier()
+		}(int64(w) * 7919)
+	}
+	wg.Wait()
+
+	// Every shard must have seen retire traffic of its own: a dense key
+	// range crossed through per-goroutine composite handles reaches all
+	// of them.
+	for i, s := range hpbrcu.ShardSnapshots(m) {
+		if s.Retired == 0 {
+			t.Errorf("shard %d retired nothing — cross-shard routing is not reaching it", i)
+		}
+		if s.Reclaimed > s.Retired {
+			t.Errorf("shard %d books corrupt: reclaimed %d > retired %d", i, s.Reclaimed, s.Retired)
+		}
+	}
+
+	if err := hpbrcu.Close(m, 10*time.Second); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Post-close: every shard's books balance independently, and the
+	// aggregate agrees.
+	for i, s := range hpbrcu.ShardSnapshots(m) {
+		if s.Unreclaimed != 0 || s.Retired != s.Reclaimed {
+			t.Errorf("shard %d unbalanced after Close: retired=%d reclaimed=%d unreclaimed=%d",
+				i, s.Retired, s.Reclaimed, s.Unreclaimed)
+		}
+	}
+	agg := hpbrcu.AggregateSnapshot(m)
+	if agg.Unreclaimed != 0 || agg.Retired != agg.Reclaimed || agg.Retired == 0 {
+		t.Errorf("aggregate unbalanced after Close: retired=%d reclaimed=%d unreclaimed=%d",
+			agg.Retired, agg.Reclaimed, agg.Unreclaimed)
+	}
+
+	// Facade traffic after Close fails closed, not load-shed.
+	if _, err := m.Insert(1, 1); err == nil || hpbrcu.IsLoadShed(err) {
+		t.Errorf("Insert after Close: err=%v, want a non-load-shed failure", err)
+	}
+	// Close is idempotent.
+	if err := hpbrcu.Close(m, time.Second); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestShardedQuarantineRouting drives the full quarantine lifecycle with
+// deterministic shard-stall injection: wedge shard 0's janitors, wait for
+// the health monitor's verdict, assert the routing contract (writes shed
+// with ErrShardQuarantined, reads pass, healthy shards unaffected,
+// registered plain writes ungated), then un-wedge and wait for recovery.
+func TestShardedQuarantineRouting(t *testing.T) {
+	const shards = 4
+	inj := fault.New(fault.Config{
+		Seed: 42,
+		Plans: [fault.NumSites]fault.Plan{
+			fault.SiteShardStall: {Period: 1, Shard: 0},
+		},
+	})
+	// Activate before the map exists and deactivate only after Close:
+	// the janitor goroutines cross injection sites for their whole lives.
+	fault.Activate(inj)
+	defer fault.Deactivate()
+
+	cfg := shardedCfg(shards)
+	cfg.Reaper.Interval = time.Millisecond
+	cfg.WatchdogInterval = time.Millisecond
+	cfg.Shards.Health = hpbrcu.ShardHealthConfig{
+		// 10ms probes over 1ms janitors: wide enough that a live janitor
+		// is never silent for a whole window even on a single-CPU, -race
+		// test box, while a wedged one is detected within ~30ms.
+		Enabled:          true,
+		Interval:         10 * time.Millisecond,
+		StallThreshold:   2,
+		RecoverThreshold: 2,
+	}
+	m, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 256, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(m, 10*time.Second)
+
+	wedgedKey := keyOwnedBy(t, m, 0, 0)
+	healthyKey := keyOwnedBy(t, m, 1, 0)
+
+	waitShard := func(quarantined bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			rows := hpbrcu.ShardPressures(m)
+			if len(rows) != shards {
+				t.Fatalf("ShardPressures returned %d rows, want %d", len(rows), shards)
+			}
+			if rows[0].Quarantined == quarantined {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for shard 0 to be %s", what)
+	}
+
+	waitShard(true, "quarantined")
+
+	// Routing contract while shard 0 is quarantined.
+	if _, err := m.Insert(wedgedKey, 1); !errors.Is(err, hpbrcu.ErrShardQuarantined) {
+		t.Errorf("Insert on wedged shard: err=%v, want ErrShardQuarantined", err)
+	}
+	if _, err := m.TryInsert(wedgedKey, 1); !errors.Is(err, hpbrcu.ErrShardQuarantined) {
+		t.Errorf("TryInsert on wedged shard: err=%v, want ErrShardQuarantined", err)
+	}
+	if _, _, err := m.Remove(wedgedKey); !errors.Is(err, hpbrcu.ErrShardQuarantined) {
+		t.Errorf("Remove on wedged shard: err=%v, want ErrShardQuarantined", err)
+	}
+	if !hpbrcu.IsLoadShed(hpbrcu.ErrShardQuarantined) {
+		t.Error("ErrShardQuarantined must be a load-shed signal")
+	}
+	if _, _, err := m.Get(wedgedKey); err != nil {
+		t.Errorf("Get on wedged shard must pass through, got %v", err)
+	}
+	if ok, err := m.Insert(healthyKey, 2); err != nil || !ok {
+		t.Errorf("Insert on healthy shard: ok=%v err=%v, want success", ok, err)
+	}
+
+	h := m.Register()
+	if _, err := hpbrcu.TryInsert(h, wedgedKey, 1); !errors.Is(err, hpbrcu.ErrShardQuarantined) {
+		t.Errorf("registered TryInsert on wedged shard: err=%v, want ErrShardQuarantined", err)
+	}
+	// The plain registered write path is the expert path — deliberately
+	// not gated.
+	if !h.Insert(wedgedKey, 3) {
+		t.Error("registered plain Insert on wedged shard must stay available")
+	}
+	h.Unregister()
+
+	// The pressure aggregates see the quarantine rows without error.
+	worst, mean := hpbrcu.PressureStat(m)
+	if worst < mean {
+		t.Errorf("PressureStat worst=%v < mean=%v", worst, mean)
+	}
+	_ = hpbrcu.KeyPressure(m, wedgedKey)
+
+	// Un-wedge: switch the site off mid-run (the injector stays active,
+	// so the long-lived janitors never race the gate) and wait for the
+	// recovery loop to rejoin the shard.
+	inj.SetSiteEnabled(fault.SiteShardStall, false)
+	waitShard(false, "recovered")
+
+	freshKey := keyOwnedBy(t, m, 0, wedgedKey+1)
+	if ok, err := m.Insert(freshKey, 4); err != nil || !ok {
+		t.Errorf("Insert after recovery: ok=%v err=%v, want success", ok, err)
+	}
+
+	snap := hpbrcu.AggregateSnapshot(m)
+	if snap.ShardQuarantines == 0 {
+		t.Error("ShardQuarantines counter did not record the quarantine")
+	}
+	if snap.ShardRecoveries == 0 {
+		t.Error("ShardRecoveries counter did not record the rejoin")
+	}
+
+	if err := hpbrcu.Close(m, 10*time.Second); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestUnshardedPressureHelpers pins the helpers' unsharded fallbacks so
+// services can call them unconditionally.
+func TestUnshardedPressureHelpers(t *testing.T) {
+	m, err := hpbrcu.NewHashMap(hpbrcu.HPBRCU, 64, hpbrcu.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hpbrcu.Close(m, 5*time.Second)
+
+	if got := hpbrcu.ShardCount(m); got != 1 {
+		t.Errorf("ShardCount unsharded = %d, want 1", got)
+	}
+	if got := hpbrcu.ShardOf(m, 12345); got != 0 {
+		t.Errorf("ShardOf unsharded = %d, want 0", got)
+	}
+	worst, mean := hpbrcu.PressureStat(m)
+	if p := hpbrcu.Pressure(m); worst != p || mean != p {
+		t.Errorf("PressureStat unsharded = (%v,%v), want (%v,%v)", worst, mean, p, p)
+	}
+	if kp := hpbrcu.KeyPressure(m, 7); kp != hpbrcu.Pressure(m) {
+		t.Errorf("KeyPressure unsharded = %v, want %v", kp, hpbrcu.Pressure(m))
+	}
+	rows := hpbrcu.ShardPressures(m)
+	if len(rows) != 1 || rows[0].Quarantined {
+		t.Errorf("ShardPressures unsharded = %+v, want one healthy row", rows)
+	}
+	if snaps := hpbrcu.ShardSnapshots(m); len(snaps) != 1 {
+		t.Errorf("ShardSnapshots unsharded returned %d rows, want 1", len(snaps))
+	}
+}

@@ -152,6 +152,60 @@ type Config struct {
 	// error-returning Get/Insert/Remove methods on Map); see PoolConfig.
 	// The zero value selects the defaults — the facade needs no opt-in.
 	Pool PoolConfig
+	// Shards splits the map into independent fault-isolated shards — one
+	// complete domain (epoch clock, handle registry, reaper, watchdog,
+	// backpressure books, handle pool) per shard, with keys hash-routed
+	// to their owning shard. See ShardsConfig and DESIGN.md §15. The zero
+	// value (and Count <= 1) keeps the single-domain layout.
+	Shards ShardsConfig
+
+	// shardID labels the single domain this Config builds inside a
+	// sharded map; set only by the sharded constructor.
+	shardID int
+}
+
+// ShardsConfig configures map sharding (Config.Shards): Count independent
+// scheme instances, each with its own epoch clock, handle registry,
+// reaper, watchdog, backpressure accounting and facade handle pool. Keys
+// are pinned to shards by hash, handles and pool checkouts are pinned to
+// the shard that created them, and every retire is routed to the owning
+// shard's defer batch — so each shard's books balance independently and
+// the global §5 bound is the sum of the per-shard bounds. A wedged shard
+// (dead reaper, stalled epoch) therefore pins only its own slice of
+// garbage; with Health enabled it is additionally quarantined so fresh
+// writes shed instead of piling onto the wedge.
+type ShardsConfig struct {
+	// Count is the number of shards; values <= 1 keep the single-domain
+	// layout.
+	Count int
+	// Health enables the per-shard health monitor and quarantine state
+	// machine; see ShardHealthConfig.
+	Health ShardHealthConfig
+}
+
+// ShardHealthConfig configures the shard health monitor
+// (ShardsConfig.Health): a single goroutine that probes every shard's
+// epoch-advance progress, janitor liveness (reaper/watchdog tick
+// counters) and books delta, quarantines a shard after StallThreshold
+// consecutive unhealthy probes, runs an escalated recovery round against
+// it each probe, and rejoins it after RecoverThreshold consecutive
+// healthy probes. Quarantined shards shed writes (Insert/TryInsert/
+// Remove fail fast with ErrShardQuarantined, which IsLoadShed
+// recognizes) while reads pass through. Only effective on schemes with
+// an HP-BRCU domain; other schemes have no health signals to probe.
+type ShardHealthConfig struct {
+	// Enabled turns the monitor on.
+	Enabled bool
+	// Interval between health probes (default 10ms, floored at twice the
+	// slowest janitor interval so a probe window always spans several
+	// expected ticks).
+	Interval time.Duration
+	// StallThreshold is how many consecutive unhealthy probes quarantine
+	// a shard (default 3).
+	StallThreshold int
+	// RecoverThreshold is how many consecutive healthy probes rejoin a
+	// quarantined shard (default 3).
+	RecoverThreshold int
 }
 
 // PoolConfig tunes the handle pool behind the handle-free facade (see
@@ -244,6 +298,7 @@ func (c Config) CoreConfig() core.Config {
 		ForceThreshold: c.ForceThreshold,
 		ScanThreshold:  c.BatchSize,
 		PanicPolicy:    c.PanicPolicy,
+		ShardID:        c.shardID,
 	}
 }
 
