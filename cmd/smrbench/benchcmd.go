@@ -46,13 +46,18 @@ func runBench(args []string) {
 	experiments := fs.String("experiments", "", "comma-separated subset of "+experimentHint()+" (default: all, or the baselines' experiments)")
 	schemeList := fs.String("schemes", "", "comma-separated scheme filter (committed baselines use the full set)")
 	shardList := fs.String("shards", "1,2,4,8", "comma-separated shard counts for the shard-aware experiments (fig1, server); the default matches the committed baselines, shards=1 is the unsharded point")
+	allocSel := fs.String("alloc", "both", "allocator sweep for the allocator-aware experiments (fig1, fig5): pool, arena or both; the default matches the committed baselines, pool is the unsuffixed point")
 	fs.Parse(args)
 
 	shards, err := parseShardCounts(*shardList)
 	if err != nil {
 		fatalArg(err)
 	}
-	cfg := bench.PipelineConfig{Seed: *seed, Duration: *dur, Shards: shards}
+	allocs, err := parseAllocs(*allocSel)
+	if err != nil {
+		fatalArg(err)
+	}
+	cfg := bench.PipelineConfig{Seed: *seed, Duration: *dur, Shards: shards, Allocators: allocs}
 	if *schemeList != "" {
 		sel, err := parseSchemes(*schemeList)
 		if err != nil {

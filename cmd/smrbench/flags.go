@@ -80,6 +80,22 @@ func parseLeakRate(s string) (float64, error) {
 	return f, nil
 }
 
+// parseAllocs parses the -alloc selector: "pool", "arena", or "both"
+// (case-insensitive). It returns the allocator sweep in pool-first order
+// so the baseline-named pool points are always emitted.
+func parseAllocs(s string) ([]hpbrcu.Allocator, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "pool":
+		return []hpbrcu.Allocator{hpbrcu.AllocatorPool}, nil
+	case "arena":
+		return []hpbrcu.Allocator{hpbrcu.AllocatorArena}, nil
+	case "both":
+		return []hpbrcu.Allocator{hpbrcu.AllocatorPool, hpbrcu.AllocatorArena}, nil
+	default:
+		return nil, fmt.Errorf("bad -alloc %q (want pool, arena or both)", s)
+	}
+}
+
 // parseSchemes parses the -schemes filter case-insensitively, preserving
 // order and dropping duplicates so `-schemes=RCU,rcu` runs each
 // experiment once.

@@ -46,6 +46,8 @@ func runGrid(args []string) {
 	trajectory := fs.Bool("trajectory", false, "diff against committed baselines instead of overwriting them")
 	baseDir := fs.String("baseline-dir", ".", "directory holding the baseline BENCH_*.json for -trajectory")
 	tolerance := fs.Float64("tolerance", 0.15, "trajectory noise floor and throughput gate; >=1 = cross-machine mode (regressions informational, bounds and coverage still gate)")
+	allocSel := fs.String("alloc", "", "allocator sweep override: pool, arena or both (empty = the spec's)")
+	requireGC := fs.Bool("require-gc", false, "fail unless every emitted point carries non-negative GC-pressure columns (and some point measured real allocation)")
 	fs.Parse(args)
 
 	spec, err := bench.LoadGrid(*config)
@@ -92,6 +94,13 @@ func runGrid(args []string) {
 		}
 		opts.Schemes = sel
 	}
+	if *allocSel != "" {
+		sel, err := parseAllocs(*allocSel)
+		if err != nil {
+			fatalArg(err)
+		}
+		opts.Allocators = sel
+	}
 
 	// As in `smrbench bench`: the critical-section histograms only record
 	// while the obs layer is on, and the committed baselines are measured
@@ -107,6 +116,32 @@ func runGrid(args []string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "grid: %d experiments in %v\n", len(files), time.Since(t0).Truncate(time.Millisecond))
+
+	// -require-gc is the CI guard for the GC-pressure columns: every point
+	// must carry them (non-negative — a negative value means the sampler's
+	// window arithmetic broke), and at least one point across the run must
+	// have measured real allocation, so a silently dead runtime/metrics
+	// sampler cannot pass as "all zeros".
+	if *requireGC {
+		sawAlloc := false
+		for _, f := range files {
+			for _, p := range f.Points {
+				if p.AllocsPerOp < 0 || p.GCCPUFrac < 0 {
+					fmt.Fprintf(os.Stderr, "grid: -require-gc: %s %s/%s has negative GC columns (allocs/op=%g, gc_cpu_frac=%g)\n",
+						f.Experiment, p.Workload, p.Scheme, p.AllocsPerOp, p.GCCPUFrac)
+					os.Exit(1)
+				}
+				if p.AllocsPerOp > 0 {
+					sawAlloc = true
+				}
+			}
+		}
+		if !sawAlloc {
+			fmt.Fprintln(os.Stderr, "grid: -require-gc: no point measured any allocation — the GC sampler looks dead")
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "grid: -require-gc: GC-pressure columns present on every point")
+	}
 
 	if !*trajectory {
 		for _, f := range files {

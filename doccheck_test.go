@@ -23,6 +23,7 @@ import (
 // readers through.
 var docCheckDirs = []string{
 	".",
+	"internal/alloc",
 	"internal/brcu",
 	"internal/core",
 	"internal/hp",

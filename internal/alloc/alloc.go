@@ -98,6 +98,9 @@ type entry[T any] struct {
 
 type slab[T any] struct {
 	entries [slabSize]entry[T]
+	// segs is the per-segment accounting of arena mode (segment s of this
+	// slab covers entries [s*segSize, (s+1)*segSize)); unused in pool mode.
+	segs [segsPerSlab]segMeta
 }
 
 // Pool is a grow-only slab allocator for nodes of type T with slot-indexed
@@ -124,11 +127,22 @@ type Pool[T any] struct {
 	// backpressure layer installs reap.Backpressure.Admit here. Set via
 	// SetGrowGate before workers start; read without synchronization.
 	growGate func() error
+
+	// mode is fixed at construction: ModePool (per-slot freelist) or
+	// ModeArena (segment-granularity recycling; see arena.go).
+	mode Mode
+	// arena holds the segment lists and counters of ModeArena.
+	arena arenaState
 }
 
-// NewPool returns an empty pool.
-func NewPool[T any]() *Pool[T] {
+// NewPool returns an empty pool. The optional mode argument selects the
+// reclamation granularity (ModePool when omitted); it is fixed for the
+// pool's lifetime — pool and arena slots never mix.
+func NewPool[T any](mode ...Mode) *Pool[T] {
 	p := &Pool[T]{nextSlot: 1} // reserve slot 0 as nil
+	if len(mode) > 0 {
+		p.mode = mode[0]
+	}
 	return p
 }
 
@@ -146,9 +160,15 @@ type Cache[T any] struct {
 	trace *obs.Trace
 }
 
-// NewCache returns a thread-local allocation cache for the pool.
+// NewCache returns a thread-local allocation cache for the pool. In arena
+// mode the cache is the magazine: it is sized to hold a whole segment, so
+// one refill loads segSize slots with a single lock acquisition.
 func (p *Pool[T]) NewCache() *Cache[T] {
-	c := &Cache[T]{pool: p, slots: make([]uint64, 0, 2*cacheBatch)}
+	capacity := 2 * cacheBatch
+	if p.mode == ModeArena {
+		capacity = segSize
+	}
+	c := &Cache[T]{pool: p, slots: make([]uint64, 0, capacity)}
 	if obs.On {
 		c.trace = obs.NewTrace("alloc")
 	}
@@ -226,8 +246,12 @@ func (p *Pool[T]) take(c *Cache[T]) (slot uint64, node *T) {
 // refill moves slots into the cache from the shared freelist, growing a
 // fresh slab when the freelist is empty. With gated set, the grow gate is
 // consulted before fresh slots are carved (never before freelist reuse);
-// its error is returned with the cache left empty.
+// its error is returned with the cache left empty. In arena mode the
+// refill is segment-granular (see refillArena).
 func (p *Pool[T]) refill(c *Cache[T], gated bool) error {
+	if p.mode == ModeArena {
+		return p.refillArena(c, gated)
+	}
 	batch := cacheBatch
 	if fault.On && fault.Fire(fault.SiteAllocExhaust) {
 		// Pool exhaustion: refill a single slot, maximizing freelist
@@ -282,6 +306,8 @@ func (p *Pool[T]) refill(c *Cache[T], gated bool) error {
 
 // FreeSlot reclaims the slot: the node must be Retired. The node is
 // poisoned (state Free, version bumped) and becomes available for reuse.
+// In pool mode the slot joins the shared freelist; in arena mode the free
+// is charged to the slot's segment (no lock, no list — see segAccount).
 // FreeSlot implements Freer.
 func (p *Pool[T]) FreeSlot(slot uint64) {
 	h := p.Hdr(slot)
@@ -297,13 +323,23 @@ func (p *Pool[T]) FreeSlot(slot uint64) {
 		fault.Fire(fault.SiteFreeStall)
 	}
 
+	if p.mode == ModeArena {
+		p.segAccount(slot)
+		return
+	}
 	p.freeMu.Lock()
 	p.freeList = append(p.freeList, slot)
 	p.freeMu.Unlock()
 }
 
 // FreeLocal reclaims the slot into the thread-local cache, avoiding the
-// shared freelist lock on the hot path. Overflow drains to the pool.
+// shared freelist lock on the hot path. Overflow drains to the pool — in
+// arena mode by charging the slot to its segment instead of caching it,
+// so a full magazine never spills into a second segment's worth of slots.
+// Magazine-cached slots are deliberately not charged to their segments:
+// they are re-handed out directly, so their segments stay incomplete,
+// which is what keeps a slot from being both cached and part of a
+// recycled segment.
 func (p *Pool[T]) FreeLocal(c *Cache[T], slot uint64) {
 	h := p.Hdr(slot)
 	h.version.Add(1)
@@ -316,6 +352,14 @@ func (p *Pool[T]) FreeLocal(c *Cache[T], slot uint64) {
 		fault.Fire(fault.SiteFreeStall)
 	}
 
+	if p.mode == ModeArena {
+		if len(c.slots) >= segSize {
+			p.segAccount(slot)
+			return
+		}
+		c.slots = append(c.slots, slot)
+		return
+	}
 	if len(c.slots) >= cap(c.slots) {
 		p.freeMu.Lock()
 		p.freeList = append(p.freeList, c.slots[:cacheBatch]...)

@@ -129,6 +129,12 @@ type Result struct {
 	// Populated only while the obs layer is active (the histograms record
 	// behind obs.On); 0 for schemes without instrumented sections.
 	CSP99 int64
+	// AllocsPerOp and GCCPUFrac are the GC-pressure columns: heap objects
+	// allocated per completed operation and the fraction of the window's
+	// CPU time spent in the collector, both sampled process-wide over the
+	// measured window (prefill excluded). See gcsample.go.
+	AllocsPerOp float64
+	GCCPUFrac   float64
 }
 
 // Throughput returns operations per second.
@@ -251,15 +257,17 @@ func RunMixed(cfg MixedConfig) Result {
 		}(uint64(w))
 	}
 
+	gc0 := readGCSample()
 	t0 := time.Now()
 	close(start)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	gc1 := readGCSample()
 
 	s := m.Stats().Snapshot()
-	return Result{
+	r := Result{
 		Ops:             total.Load(),
 		Elapsed:         elapsed,
 		PeakUnreclaimed: s.PeakUnreclaimed,
@@ -269,6 +277,8 @@ func RunMixed(cfg MixedConfig) Result {
 		Rollbacks:       s.Rollbacks,
 		CSP99:           s.CSNanos.P99,
 	}
+	r.AllocsPerOp, r.GCCPUFrac = gcPressure(gc0, gc1, r.Ops)
+	return r
 }
 
 // mixedWorkerSeed derives worker id's rng seed from the run seed. Shared

@@ -1,0 +1,62 @@
+package bench
+
+import "runtime/metrics"
+
+// gcSample is a point-in-time reading of the runtime metrics the GC-pressure
+// columns are computed from: cumulative heap object allocations and the CPU
+// split between GC work and everything else. Samples are cheap (three
+// runtime/metrics reads), so every runner takes one at the start and end of
+// its measured window — after prefill, so setup allocation never pollutes
+// the columns.
+type gcSample struct {
+	allocObjects uint64  // /gc/heap/allocs:objects (cumulative)
+	gcCPUSeconds float64 // /cpu/classes/gc/total:cpu-seconds (cumulative)
+	cpuSeconds   float64 // /cpu/classes/total:cpu-seconds (cumulative)
+}
+
+var gcSampleKeys = []string{
+	"/gc/heap/allocs:objects",
+	"/cpu/classes/gc/total:cpu-seconds",
+	"/cpu/classes/total:cpu-seconds",
+}
+
+// readGCSample snapshots the three GC-pressure metrics. Unknown metrics
+// (a runtime that dropped a key) read as zero, which flows through as
+// zero-valued columns rather than an error: the columns are advisory.
+func readGCSample() gcSample {
+	samples := make([]metrics.Sample, len(gcSampleKeys))
+	for i, k := range gcSampleKeys {
+		samples[i].Name = k
+	}
+	metrics.Read(samples)
+	var out gcSample
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		out.allocObjects = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == metrics.KindFloat64 {
+		out.gcCPUSeconds = samples[1].Value.Float64()
+	}
+	if samples[2].Value.Kind() == metrics.KindFloat64 {
+		out.cpuSeconds = samples[2].Value.Float64()
+	}
+	return out
+}
+
+// gcPressure reduces a (start, end) sample pair over a window of ops
+// completed operations to the two report columns: heap objects allocated
+// per operation, and the fraction of all CPU time the window spent in the
+// garbage collector. Both are process-wide — on a quiet benchmark host the
+// measured workload dominates, which is the operating assumption for every
+// committed baseline.
+func gcPressure(start, end gcSample, ops int64) (allocsPerOp, gcCPUFrac float64) {
+	if ops > 0 {
+		allocsPerOp = float64(end.allocObjects-start.allocObjects) / float64(ops)
+	}
+	if dCPU := end.cpuSeconds - start.cpuSeconds; dCPU > 0 {
+		gcCPUFrac = (end.gcCPUSeconds - start.gcCPUSeconds) / dCPU
+		if gcCPUFrac < 0 {
+			gcCPUFrac = 0
+		}
+	}
+	return allocsPerOp, gcCPUFrac
+}

@@ -76,6 +76,11 @@ type GridExperiment struct {
 	// HP-BRCU only and get "/shards=N"-suffixed workload names, so a
 	// sweep containing 1 keeps every baseline point name intact.
 	Shards []int `json:"shards,omitempty"`
+	// Allocs is the allocator sweep of the fig1 and fig5 experiments
+	// ("pool", "arena"; default ["pool"]). Arena points get
+	// "/alloc=arena"-suffixed workload names so a sweep containing
+	// "pool" keeps every baseline point name intact. See DESIGN.md §16.
+	Allocs []string `json:"allocs,omitempty"`
 }
 
 // ParseGrid parses and validates an experiments.json document.
@@ -153,11 +158,36 @@ func (s *GridSpec) validate() error {
 				return fmt.Errorf("grid: %s: shard count %d out of [1,64]", e.Name, n)
 			}
 		}
+		if _, err := ParseAllocNames(e.Allocs); err != nil {
+			return fmt.Errorf("grid: %s: %w", e.Name, err)
+		}
 		if _, err := parseSchemeNames(e.Schemes); err != nil {
 			return fmt.Errorf("grid: %s: %w", e.Name, err)
 		}
 	}
 	return nil
+}
+
+// ParseAllocNames resolves allocator names ("pool"/"arena",
+// case-insensitive) to hpbrcu.Allocator values; nil input means the
+// default pool-only sweep and returns nil. Shared with smrbench's
+// -alloc flag so the CLI and experiments.json accept the same spelling.
+func ParseAllocNames(names []string) ([]hpbrcu.Allocator, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]hpbrcu.Allocator, 0, len(names))
+	for _, n := range names {
+		switch strings.ToLower(n) {
+		case "pool":
+			out = append(out, hpbrcu.AllocatorPool)
+		case "arena":
+			out = append(out, hpbrcu.AllocatorArena)
+		default:
+			return nil, fmt.Errorf("unknown allocator %q (want pool or arena)", n)
+		}
+	}
+	return out, nil
 }
 
 // parseSchemeNames resolves scheme display names (case-insensitive)
@@ -194,6 +224,9 @@ type GridOptions struct {
 	// Schemes filters every experiment's scheme sweep on top of any
 	// per-experiment restriction.
 	Schemes []hpbrcu.Scheme
+	// Allocators, when non-empty, replaces every experiment's allocator
+	// sweep (the `smrbench grid -alloc` flag).
+	Allocators []hpbrcu.Allocator
 	// Logf, when set, receives one progress line per pipeline run.
 	Logf func(format string, args ...any)
 }
@@ -263,11 +296,19 @@ func RunGrid(spec *GridSpec, opts GridOptions) ([]*BenchFile, error) {
 			return nil, err // unreachable after validate; kept for safety
 		}
 		schemes = intersectSchemes(schemes, opts.Schemes)
+		allocs, err := ParseAllocNames(e.Allocs)
+		if err != nil {
+			return nil, err // unreachable after validate; kept for safety
+		}
+		if len(opts.Allocators) > 0 {
+			allocs = opts.Allocators
+		}
 		cfg := PipelineConfig{
 			Seed: seed, Duration: dur, Schemes: schemes,
 			KeyRangeExps: e.KeyRangeExps, Threads: e.Threads,
 			PoolSizes: e.PoolSizes, Writers: e.Writers, KeyRange: e.KeyRange,
 			Rates: e.Rates, Conns: e.Conns, Shards: e.Shards,
+			Allocators: allocs,
 		}
 		for w := 0; w < warmup; w++ {
 			t0 := time.Now()
@@ -365,6 +406,11 @@ func AggregateRuns(runs []*BenchFile) (*BenchFile, error) {
 		agg := BenchPoint{Workload: k.workload, Scheme: k.scheme, Bound: -1}
 		for i, p := range pts {
 			ops[i] = p.OpsPerSec
+			// The GC-pressure columns average across repeats: they are
+			// central-tendency metrics, not worst-case claims like the
+			// peak/bound pair below.
+			agg.AllocsPerOp += p.AllocsPerOp / float64(len(pts))
+			agg.GCCPUFrac += p.GCCPUFrac / float64(len(pts))
 			if p.PeakUnreclaimed > agg.PeakUnreclaimed {
 				agg.PeakUnreclaimed = p.PeakUnreclaimed
 			}
@@ -523,17 +569,18 @@ func sortedPoints(f *BenchFile) []BenchPoint {
 // one row per point across all experiments).
 func GridCSV(files []*BenchFile) string {
 	var b strings.Builder
-	b.WriteString("experiment,workload,scheme,ops_per_sec_mean,ops_per_sec_std,ops_per_sec_min,ops_per_sec_max,peak_unreclaimed,p99_cs_ns,bound,p99_ns,p999_ns,repeats\n")
+	b.WriteString("experiment,workload,scheme,ops_per_sec_mean,ops_per_sec_std,ops_per_sec_min,ops_per_sec_max,peak_unreclaimed,p99_cs_ns,bound,p99_ns,p999_ns,allocs_per_op,gc_cpu_frac,repeats\n")
 	for _, f := range files {
 		for _, p := range sortedPoints(f) {
 			st := p.Ops
 			if st == nil {
 				st = &PointStats{Mean: p.OpsPerSec, Min: p.OpsPerSec, Max: p.OpsPerSec}
 			}
-			fmt.Fprintf(&b, "%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%d,%d\n",
+			fmt.Fprintf(&b, "%s,%s,%s,%.1f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%d,%.4f,%.4f,%d\n",
 				f.Experiment, p.Workload, p.Scheme,
 				st.Mean, st.Std, st.Min, st.Max,
-				p.PeakUnreclaimed, p.P99CSNanos, p.Bound, p.P99Nanos, p.P999Nanos, f.Repeats)
+				p.PeakUnreclaimed, p.P99CSNanos, p.Bound, p.P99Nanos, p.P999Nanos,
+				p.AllocsPerOp, p.GCCPUFrac, f.Repeats)
 		}
 	}
 	return b.String()
@@ -550,8 +597,8 @@ func GridMarkdown(files []*BenchFile) string {
 		}
 		fmt.Fprintf(&b, "### %s (repeats=%d, warmup=%d, %d ms/point, seed %d)\n\n",
 			f.Experiment, f.Repeats, f.Warmup, f.DurationMS, f.Seed)
-		b.WriteString("| workload | scheme | ops/s (mean) | ±std | min | max | peak | p99 CS ns | bound | p99 ns | p999 ns |\n")
-		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		b.WriteString("| workload | scheme | ops/s (mean) | ±std | min | max | peak | p99 CS ns | bound | p99 ns | p999 ns | allocs/op | GC CPU % |\n")
+		b.WriteString("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 		for _, p := range sortedPoints(f) {
 			st := p.Ops
 			if st == nil {
@@ -567,9 +614,10 @@ func GridMarkdown(files []*BenchFile) string {
 				}
 				return fmt.Sprintf("%d", n)
 			}
-			fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %.0f | %.0f | %d | %d | %s | %s | %s |\n",
+			fmt.Fprintf(&b, "| %s | %s | %.0f | %.0f | %.0f | %.0f | %d | %d | %s | %s | %s | %.3f | %.2f |\n",
 				p.Workload, p.Scheme, st.Mean, st.Std, st.Min, st.Max,
-				p.PeakUnreclaimed, p.P99CSNanos, bound, lat(p.P99Nanos), lat(p.P999Nanos))
+				p.PeakUnreclaimed, p.P99CSNanos, bound, lat(p.P99Nanos), lat(p.P999Nanos),
+				p.AllocsPerOp, p.GCCPUFrac*100)
 		}
 	}
 	return b.String()

@@ -286,11 +286,11 @@ func TestGridEmitters(t *testing.T) {
 	if !strings.HasPrefix(csv, "experiment,workload,scheme,ops_per_sec_mean,") {
 		t.Fatalf("csv header: %q", csv)
 	}
-	if !strings.Contains(csv, "fig1,w,A,200.0,100.0,100.0,300.0,7,0,50,0,0,2") {
+	if !strings.Contains(csv, "fig1,w,A,200.0,100.0,100.0,300.0,7,0,50,0,0,0.0000,0.0000,2") {
 		t.Fatalf("csv row missing aggregates:\n%s", csv)
 	}
 	md := GridMarkdown([]*BenchFile{agg})
-	for _, want := range []string{"### fig1 (repeats=2, warmup=1", "| ops/s (mean) |", "| w | A | 200 | 100 | 100 | 300 | 7 | 0 | 50 | — | — |"} {
+	for _, want := range []string{"### fig1 (repeats=2, warmup=1", "| ops/s (mean) |", "| allocs/op |", "| w | A | 200 | 100 | 100 | 300 | 7 | 0 | 50 | — | — | 0.000 | 0.00 |"} {
 		if !strings.Contains(md, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, md)
 		}

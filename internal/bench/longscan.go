@@ -121,15 +121,17 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		}(int64(w))
 	}
 
+	gc0 := readGCSample()
 	t0 := time.Now()
 	close(startGate)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	gc1 := readGCSample()
 
 	s := hpbrcu.AggregateSnapshot(m)
-	return LongScanResult{
+	r := LongScanResult{
 		Result: Result{
 			Ops:             readOps.Load() + writeOps.Load(),
 			Elapsed:         elapsed,
@@ -143,6 +145,8 @@ func RunLongScan(cfg LongScanConfig) LongScanResult {
 		ReadOps:  readOps.Load(),
 		WriteOps: writeOps.Load(),
 	}
+	r.AllocsPerOp, r.GCCPUFrac = gcPressure(gc0, gc1, r.Ops)
+	return r
 }
 
 // LongScanStructureFor returns the list flavour the paper uses per scheme

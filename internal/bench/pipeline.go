@@ -51,6 +51,11 @@ type PipelineConfig struct {
 	// workload name with "/shards=N", so shards=1 points keep their
 	// baseline-compatible names.
 	Shards []int
+	// Allocators is the allocator sweep of the fig1 and fig5 experiments
+	// (default pool only). Arena points run every scheme and suffix the
+	// workload name with "/alloc=arena", so pool points keep their
+	// baseline-compatible names. See DESIGN.md §16 for the arena design.
+	Allocators []hpbrcu.Allocator
 }
 
 func (c *PipelineConfig) normalize() {
@@ -87,6 +92,19 @@ func (c *PipelineConfig) normalize() {
 	if len(c.Shards) == 0 {
 		c.Shards = []int{1}
 	}
+	if len(c.Allocators) == 0 {
+		c.Allocators = []hpbrcu.Allocator{hpbrcu.AllocatorPool}
+	}
+}
+
+// allocSuffix names an allocator sweep point: pool (the default mode)
+// contributes nothing so baseline workload names survive an Allocators
+// sweep that includes it.
+func allocSuffix(a hpbrcu.Allocator) string {
+	if a == hpbrcu.AllocatorPool {
+		return ""
+	}
+	return "/alloc=" + a.String()
 }
 
 // shardSchemes restricts a shard sweep point's scheme list: shard counts
@@ -158,29 +176,34 @@ func BenchFig1(cfg PipelineConfig) *BenchFile {
 	f := cfg.file("fig1")
 	for _, e := range cfg.KeyRangeExps {
 		for _, nsh := range cfg.Shards {
-			workload := fmt.Sprintf("keys=2^%02d", e)
-			if nsh > 1 {
-				workload += fmt.Sprintf("/shards=%d", nsh)
-			}
-			for _, s := range shardSchemes(cfg.Schemes, nsh) {
-				var mc hpbrcu.Config
+			for _, al := range cfg.Allocators {
+				workload := fmt.Sprintf("keys=2^%02d", e)
 				if nsh > 1 {
-					mc.Shards = hpbrcu.ShardsConfig{Count: nsh}
+					workload += fmt.Sprintf("/shards=%d", nsh)
 				}
-				res := RunLongScan(LongScanConfig{
-					Structure: LongScanStructureFor(s), Scheme: s,
-					Readers: 2, Writers: 2,
-					KeyRange: 1 << e, Duration: cfg.Duration, Seed: cfg.Seed,
-					Config: mc,
-				})
-				f.Points = append(f.Points, BenchPoint{
-					Workload:        workload,
-					Scheme:          s.String(),
-					OpsPerSec:       res.ReadThroughput(),
-					PeakUnreclaimed: res.PeakUnreclaimed,
-					P99CSNanos:      res.CSP99,
-					Bound:           -1,
-				})
+				workload += allocSuffix(al)
+				for _, s := range shardSchemes(cfg.Schemes, nsh) {
+					mc := hpbrcu.Config{Allocator: al}
+					if nsh > 1 {
+						mc.Shards = hpbrcu.ShardsConfig{Count: nsh}
+					}
+					res := RunLongScan(LongScanConfig{
+						Structure: LongScanStructureFor(s), Scheme: s,
+						Readers: 2, Writers: 2,
+						KeyRange: 1 << e, Duration: cfg.Duration, Seed: cfg.Seed,
+						Config: mc,
+					})
+					f.Points = append(f.Points, BenchPoint{
+						Workload:        workload,
+						Scheme:          s.String(),
+						OpsPerSec:       res.ReadThroughput(),
+						PeakUnreclaimed: res.PeakUnreclaimed,
+						P99CSNanos:      res.CSP99,
+						Bound:           -1,
+						AllocsPerOp:     res.AllocsPerOp,
+						GCCPUFrac:       res.GCCPUFrac,
+					})
+				}
 			}
 		}
 	}
@@ -206,24 +229,29 @@ func BenchFig5(cfg PipelineConfig) *BenchFile {
 	cfg.normalize()
 	f := cfg.file("fig5")
 	for _, part := range fig5Parts {
-		workload := fmt.Sprintf("%s/keys=%d/threads=%d", part.st, part.keyRange, cfg.Threads)
-		for _, s := range cfg.Schemes {
-			if !Supported(part.st, s) {
-				continue
+		for _, al := range cfg.Allocators {
+			workload := fmt.Sprintf("%s/keys=%d/threads=%d", part.st, part.keyRange, cfg.Threads) + allocSuffix(al)
+			for _, s := range cfg.Schemes {
+				if !Supported(part.st, s) {
+					continue
+				}
+				res := RunMixed(MixedConfig{
+					Structure: part.st, Scheme: s, Threads: cfg.Threads,
+					KeyRange: part.keyRange, Mix: ReadOnly,
+					Duration: cfg.Duration, Seed: cfg.Seed,
+					Config: hpbrcu.Config{Allocator: al},
+				})
+				f.Points = append(f.Points, BenchPoint{
+					Workload:        workload,
+					Scheme:          s.String(),
+					OpsPerSec:       res.Throughput(),
+					PeakUnreclaimed: res.PeakUnreclaimed,
+					P99CSNanos:      res.CSP99,
+					Bound:           -1,
+					AllocsPerOp:     res.AllocsPerOp,
+					GCCPUFrac:       res.GCCPUFrac,
+				})
 			}
-			res := RunMixed(MixedConfig{
-				Structure: part.st, Scheme: s, Threads: cfg.Threads,
-				KeyRange: part.keyRange, Mix: ReadOnly,
-				Duration: cfg.Duration, Seed: cfg.Seed,
-			})
-			f.Points = append(f.Points, BenchPoint{
-				Workload:        workload,
-				Scheme:          s.String(),
-				OpsPerSec:       res.Throughput(),
-				PeakUnreclaimed: res.PeakUnreclaimed,
-				P99CSNanos:      res.CSP99,
-				Bound:           -1,
-			})
 		}
 	}
 	return f
@@ -259,6 +287,8 @@ func BenchPool(cfg PipelineConfig) *BenchFile {
 				PeakUnreclaimed: res.PeakUnreclaimed,
 				P99CSNanos:      res.CSP99,
 				Bound:           -1,
+				AllocsPerOp:     res.AllocsPerOp,
+				GCCPUFrac:       res.GCCPUFrac,
 			})
 		}
 	}
@@ -285,6 +315,8 @@ func BenchTable2(cfg PipelineConfig) *BenchFile {
 			PeakUnreclaimed: res.PeakUnreclaimed,
 			P99CSNanos:      res.CSP99,
 			Bound:           res.Bound,
+			AllocsPerOp:     res.AllocsPerOp,
+			GCCPUFrac:       res.GCCPUFrac,
 		})
 	}
 	return f

@@ -88,6 +88,14 @@ type BenchPoint struct {
 	// runs only); nil in schema-1 files and single-run reports. When
 	// set, OpsPerSec equals Ops.Mean.
 	Ops *PointStats `json:"ops_stats,omitempty"`
+	// AllocsPerOp and GCCPUFrac are the GC-pressure columns: heap objects
+	// allocated per operation and the fraction of window CPU time spent in
+	// the garbage collector (see gcsample.go). Deliberately not omitempty —
+	// a measured zero (the arena fast path) must stay distinguishable from
+	// a schema-1 file that predates the columns only via the file schema,
+	// and the CI -require-gc gate asserts their presence by key.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GCCPUFrac   float64 `json:"gc_cpu_frac"`
 }
 
 // PointStats is the per-point throughput aggregate the grid runner

@@ -42,6 +42,10 @@ type StallResult struct {
 	CSP99 int64
 	// Elapsed is the measured churn window (writer start to writer stop).
 	Elapsed time.Duration
+	// AllocsPerOp and GCCPUFrac are the GC-pressure columns over the churn
+	// window (see gcsample.go); ops here are writer operations.
+	AllocsPerOp float64
+	GCCPUFrac   float64
 }
 
 // WriterThroughput returns completed writer operations per second.
@@ -220,11 +224,13 @@ func RunStalled(cfg StallConfig) StallResult {
 			}
 		}(w)
 	}
+	gc0 := readGCSample()
 	t0 := time.Now()
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	gc1 := readGCSample()
 	unstall()
 
 	if reaperStop != nil {
@@ -244,7 +250,7 @@ func RunStalled(cfg StallConfig) StallResult {
 		bound = boundFn()
 	}
 	s := rec.Snapshot()
-	return StallResult{
+	r := StallResult{
 		Scheme:          cfg.Scheme,
 		PeakUnreclaimed: s.PeakUnreclaimed,
 		Retired:         s.Retired,
@@ -257,6 +263,8 @@ func RunStalled(cfg StallConfig) StallResult {
 		CSP99:           s.CSNanos.P99,
 		Elapsed:         elapsed,
 	}
+	r.AllocsPerOp, r.GCCPUFrac = gcPressure(gc0, gc1, r.WriterOps)
+	return r
 }
 
 // stallWorkerSeed derives writer w's rng seed from the run seed, in a

@@ -45,6 +45,12 @@ type TransientResult struct {
 	// instrumented sections). Every pipeline experiment reports it —
 	// BENCH_pool.json silently carried 0 until this field existed.
 	CSP99 int64
+	// AllocsPerOp and GCCPUFrac are the GC-pressure columns over the
+	// measured window (see gcsample.go). The transient workload allocates a
+	// goroutine plus channel per op by design, so its floor is higher than
+	// the mixed/long-scan workloads'.
+	AllocsPerOp float64
+	GCCPUFrac   float64
 }
 
 // Throughput returns completed operations per second.
@@ -115,12 +121,14 @@ func RunTransient(cfg TransientConfig) TransientResult {
 		}(uint64(w))
 	}
 
+	gc0 := readGCSample()
 	t0 := time.Now()
 	close(start)
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	gc1 := readGCSample()
 
 	s := m.Stats().Snapshot()
 	res := TransientResult{
@@ -131,6 +139,7 @@ func RunTransient(cfg TransientConfig) TransientResult {
 		Checkouts:       s.PoolCheckouts,
 		CSP99:           s.CSNanos.P99,
 	}
+	res.AllocsPerOp, res.GCCPUFrac = gcPressure(gc0, gc1, res.Ops)
 	hpbrcu.Close(m, time.Second)
 	return res
 }

@@ -127,7 +127,8 @@ func TestTraverseEngine(t *testing.T) {
 					return StepContinue, 0
 				},
 			}
-			c, last, ok := Traverse(h, prot, backup, tr)
+			var buf CursorBuf[chainCursor]
+			c, last, ok := Traverse(h, &buf, prot, backup, tr)
 			if !ok {
 				t.Fatal("traverse failed")
 			}
@@ -147,7 +148,7 @@ func TestTraverseEngine(t *testing.T) {
 			// Fail propagation.
 			trFail := tr
 			trFail.Step = func(c *chainCursor) (StepKind, int64) { return StepFail, 0 }
-			if _, _, ok := Traverse(h, prot, backup, trFail); ok {
+			if _, _, ok := Traverse(h, &buf, prot, backup, trFail); ok {
 				t.Fatal("StepFail must make Traverse return not-ok")
 			}
 		})
@@ -186,7 +187,8 @@ func TestTraverseValidateGate(t *testing.T) {
 			return StepContinue, 0
 		},
 	}
-	_, last, ok := Traverse(h, prot, backup, tr)
+	var buf CursorBuf[chainCursor]
+	_, last, ok := Traverse(h, &buf, prot, backup, tr)
 	if !ok || last != n-1 {
 		t.Fatalf("got (%d,%v), want (%d,true)", last, ok, n-1)
 	}

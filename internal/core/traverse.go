@@ -37,6 +37,25 @@ type Protector[C any] interface {
 	Protect(c *C)
 }
 
+// CursorBuf is caller-provided cursor storage for Traverse: the working
+// cursor plus the two checkpoint buffers of the double-buffering scheme
+// (§4.3). Traverse used to keep these as locals, but a cursor whose
+// address is passed through the Protector interface escapes to the heap —
+// at roughly two heap allocations per operation, cursors were ~99% of the
+// allocator traffic the GC-pressure columns measure. Handles embed one
+// CursorBuf per cursor type instead, so a traversal performs zero
+// allocations.
+//
+// A CursorBuf is owned by the handle's goroutine and must not be shared:
+// two concurrent traversals through one buffer would tear each other's
+// checkpoints. Reusing it across consecutive operations on the same
+// handle is the intended pattern — Traverse fully re-initializes the
+// working cursor (and the checkpoints it commits) before reading them.
+type CursorBuf[C any] struct {
+	cur  C
+	ckpt [2]C
+}
+
 // Traversal bundles the data-structure callbacks for Traverse (the
 // paper's init/step closures and the Validatable trait).
 type Traversal[C, R any] struct {
@@ -64,8 +83,9 @@ type Traversal[C, R any] struct {
 // prot and backup are the double buffer (§4.3): at every moment at least
 // one of them holds a complete protected cursor, so HP-BRCU can resume
 // after a neutralization that lands in the middle of checkpointing. On a
-// successful return the final cursor's protection is (also) in prot.
-func Traverse[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool) {
+// successful return the final cursor's protection is (also) in prot. buf
+// is the handle-owned cursor storage (see CursorBuf).
+func Traverse[C, R any](h *Handle, buf *CursorBuf[C], prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool) {
 	h.checkUsable()
 	defer func() {
 		if r := recover(); r != nil {
@@ -79,10 +99,10 @@ func Traverse[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R])
 		}
 	}()
 	if h.brcu != nil {
-		c, r, ok, _ := traverseBRCU(h, prot, backup, t, 0)
+		c, r, ok, _ := traverseBRCU(h, buf, prot, backup, t, 0)
 		return c, r, ok
 	}
-	c, r, ok, _ := traverseRCU(nil, h, prot, backup, t)
+	c, r, ok, _ := traverseRCU(nil, h, buf, prot, backup, t)
 	return c, r, ok
 }
 
@@ -96,7 +116,7 @@ func Traverse[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R])
 // without touching any shared state. Under HP-RCU there is no
 // neutralization, so cancellation is observed only at phase boundaries
 // (at most BackupPeriod steps late).
-func TraverseCtx[C, R any](ctx context.Context, h *Handle, prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool, err error) {
+func TraverseCtx[C, R any](ctx context.Context, h *Handle, buf *CursorBuf[C], prot, backup Protector[C], t Traversal[C, R]) (cursor C, result R, ok bool, err error) {
 	var (
 		zeroC C
 		zeroR R
@@ -123,9 +143,9 @@ func TraverseCtx[C, R any](ctx context.Context, h *Handle, prot, backup Protecto
 			stop()
 			h.brcu.DisarmCancel()
 		}()
-		cursor, result, ok, cancelled = traverseBRCU(h, prot, backup, t, tok)
+		cursor, result, ok, cancelled = traverseBRCU(h, buf, prot, backup, t, tok)
 	} else {
-		cursor, result, ok, cancelled = traverseRCU(ctx, h, prot, backup, t)
+		cursor, result, ok, cancelled = traverseRCU(ctx, h, buf, prot, backup, t)
 	}
 	if cancelled {
 		h.d.rec.CancelledOps.Inc()
@@ -150,18 +170,20 @@ func TraverseCtx[C, R any](ctx context.Context, h *Handle, prot, backup Protecto
 // at the rollback boundary — after RequestCancel's self-neutralization
 // forced the section out, before the next Enter — so a cancelled
 // traversal is abandoned in exactly the state a neutralized one resumes
-// from. The fourth result reports cancellation.
-func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C, R], tok uint64) (C, R, bool, bool) {
+// from. The fourth result reports cancellation. The working cursor and
+// the checkpoint double buffer live in buf (handle-owned storage), so the
+// traversal itself allocates nothing.
+func traverseBRCU[C, R any](h *Handle, buf *CursorBuf[C], prot, backup Protector[C], t Traversal[C, R], tok uint64) (C, R, bool, bool) {
 	var (
 		prots   = [2]Protector[C]{backup, prot}
-		curs    [2]C
 		compIdx = 0
-		haveCkp = false // does curs[compIdx%2] hold a complete checkpoint?
+		haveCkp = false // does buf.ckpt[compIdx%2] hold a complete checkpoint?
 		zeroC   C
 		zeroR   R
 		period  = h.d.backupPeriod
 		gen     = h.brcu.Gen()
 	)
+	c := &buf.cur
 
 	for {
 		if h.brcu.CancelPending(tok) {
@@ -190,13 +212,13 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 			// protecting makes the checkpoint complete: if it
 			// succeeds, the protection was published while the
 			// section was live, so reclaimers must honour it.
-			c := t.Init()
-			prots[0].Protect(&c)
+			*c = t.Init()
+			prots[0].Protect(c)
 			if !h.brcu.Poll() {
 				h.brcu.RecordRollback()
 				continue
 			}
-			curs[0] = c
+			buf.ckpt[0] = *c
 			compIdx = 0
 			haveCkp = true
 			fresh = true
@@ -211,10 +233,12 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 		// livelocking the structure. A checkpoint inherited from an
 		// earlier section must be revalidated (line 17, §3.3);
 		// validation failure aborts the whole operation.
-		c := curs[compIdx%2]
-		if !fresh && !t.Validate(&c) {
-			h.brcu.Exit()
-			return zeroC, zeroR, false, false
+		if !fresh {
+			*c = buf.ckpt[compIdx%2]
+			if !t.Validate(c) {
+				h.brcu.Exit()
+				return zeroC, zeroR, false, false
+			}
 		}
 
 		rolledBack := false
@@ -239,7 +263,7 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 				rolledBack = true
 				break
 			}
-			kind, r := t.Step(&c)
+			kind, r := t.Step(c)
 			if kind == StepAbort {
 				rolledBack = true
 				break
@@ -256,7 +280,7 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 				// deterministic traversal can livelock: every retry
 				// re-checkpoints the same doomed cursor and fails
 				// validation again.
-				if kind != StepFinish && !t.Validate(&c) {
+				if kind != StepFinish && !t.Validate(c) {
 					continue
 				}
 				// Checkpoint into the *other* buffer (lines 21-24):
@@ -264,12 +288,12 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 				// publishes the new complete index, so a rollback
 				// mid-checkpoint leaves the previous buffer intact.
 				next := (compIdx + 1) % 2
-				prots[next].Protect(&c)
+				prots[next].Protect(c)
 				if !h.brcu.Poll() {
 					rolledBack = true
 					break
 				}
-				curs[next] = c
+				buf.ckpt[next] = *c
 				compIdx++
 				if kind == StepFinish {
 					h.brcu.Exit()
@@ -280,9 +304,9 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 					// protector holds them). Skip the copy when the
 					// finishing buffer already is prot.
 					if prots[compIdx%2] != Protector[C](prot) {
-						prot.Protect(&c)
+						prot.Protect(c)
 					}
-					return c, r, true, false
+					return *c, r, true, false
 				}
 				// Catch up with the global epoch so this traversal
 				// stops blocking reclamation; failure means we were
@@ -306,8 +330,9 @@ func traverseBRCU[C, R any](h *Handle, prot, backup Protector[C], t Traversal[C,
 // HP checkpoints. There are no aborts, so a single protector suffices; the
 // backup buffer is unused. A non-nil ctx is checked at phase boundaries
 // (RCU has no neutralization to deliver cancellation mid-phase); the
-// fourth result reports cancellation.
-func traverseRCU[C, R any](ctx context.Context, h *Handle, prot, backup Protector[C], t Traversal[C, R]) (C, R, bool, bool) {
+// fourth result reports cancellation. As in traverseBRCU, the working
+// cursor lives in buf so the traversal allocates nothing.
+func traverseRCU[C, R any](ctx context.Context, h *Handle, buf *CursorBuf[C], prot, backup Protector[C], t Traversal[C, R]) (C, R, bool, bool) {
 	var (
 		zeroC  C
 		zeroR  R
@@ -315,9 +340,10 @@ func traverseRCU[C, R any](ctx context.Context, h *Handle, prot, backup Protecto
 	)
 	_ = backup
 
+	c := &buf.cur
 	h.rcu.Pin()
-	c := t.Init()
-	prot.Protect(&c) // within the critical section: no validation needed (R2)
+	*c = t.Init()
+	prot.Protect(c) // within the critical section: no validation needed (R2)
 
 	yc := 0
 	for i := 1; ; i++ {
@@ -327,15 +353,15 @@ func traverseRCU[C, R any](ctx context.Context, h *Handle, prot, backup Protecto
 			// recover barrier in Traverse contains it.
 			panic(fault.ErrInjectedPanic)
 		}
-		kind, r := t.Step(&c)
+		kind, r := t.Step(c)
 		if kind == StepFail {
 			h.rcu.Unpin()
 			return zeroC, zeroR, false, false
 		}
 		if kind == StepFinish {
-			prot.Protect(&c)
+			prot.Protect(c)
 			h.rcu.Unpin()
-			return c, r, true, false
+			return *c, r, true, false
 		}
 		if i%period == 0 {
 			if ctx != nil && ctx.Err() != nil {
@@ -349,12 +375,12 @@ func traverseRCU[C, R any](ctx context.Context, h *Handle, prot, backup Protecto
 			// deleted node), postpone the phase switch — checkpointing
 			// it could only force a full restart, and in a quiescent
 			// run it would deterministically livelock.
-			if !t.Validate(&c) {
+			if !t.Validate(c) {
 				continue
 			}
-			prot.Protect(&c)
+			prot.Protect(c)
 			h.rcu.Repin()
-			if !t.Validate(&c) {
+			if !t.Validate(c) {
 				h.rcu.Unpin()
 				return zeroC, zeroR, false, false
 			}

@@ -35,8 +35,8 @@ func bucketOf(key int64, n int) int {
 	return int(h % uint64(n))
 }
 
-func newCores(n int) ([]*lnode.List, *alloc.Pool[lnode.Node]) {
-	pool := alloc.NewPool[lnode.Node]()
+func newCores(n int, mode ...alloc.Mode) ([]*lnode.List, *alloc.Pool[lnode.Node]) {
+	pool := alloc.NewPool[lnode.Node](mode...)
 	cache := pool.NewCache()
 	cores := make([]*lnode.List, n)
 	for i := range cores {
@@ -57,7 +57,8 @@ type EBR struct {
 // NewEBR creates an RCU-protected map with n buckets.
 func NewEBR(n int, opts ...ebr.Option) *EBR {
 	dom := ebr.NewDomain(nil, opts...)
-	cores, pool := newCores(n)
+	cores, pool := newCores(n, dom.AllocMode())
+	dom.BindPool(pool)
 	m := &EBR{dom: dom, pool: pool, buckets: make([]*hlist.EBR, n)}
 	for i, c := range cores {
 		m.buckets[i] = hlist.NewEBRFrom(c, dom)
@@ -65,9 +66,10 @@ func NewEBR(n int, opts ...ebr.Option) *EBR {
 	return m
 }
 
-// NewNR creates the no-reclamation baseline map.
-func NewNR(n int) *EBR {
-	return NewEBR(n, ebr.NoReclaim())
+// NewNR creates the no-reclamation baseline map. Options (e.g.
+// ebr.WithAllocator) are applied on top of ebr.NoReclaim.
+func NewNR(n int, opts ...ebr.Option) *EBR {
+	return NewEBR(n, append([]ebr.Option{ebr.NoReclaim()}, opts...)...)
 }
 
 // Stats exposes reclamation statistics.
@@ -127,7 +129,8 @@ type HP struct {
 // NewHP creates a hazard-pointer-protected map with n buckets.
 func NewHP(n int, opts ...hp.Option) *HP {
 	dom := hp.NewDomain(nil, opts...)
-	pool := alloc.NewPool[lnode.Node]()
+	pool := alloc.NewPool[lnode.Node](dom.AllocMode())
+	dom.BindPool(pool)
 	cache := pool.NewCache()
 	m := &HP{dom: dom, pool: pool, buckets: make([]*hmlist.HP, n)}
 	for i := range m.buckets {
@@ -182,7 +185,8 @@ type Expedited struct {
 
 func newExpedited(backend core.Backend, n int, cfg core.Config) *Expedited {
 	dom := core.NewDomain(backend, cfg)
-	cores, pool := newCores(n)
+	cores, pool := newCores(n, cfg.Allocator)
+	dom.BindPool(pool)
 	m := &Expedited{dom: dom, pool: pool, buckets: make([]*hlist.Expedited, n)}
 	for i, c := range cores {
 		m.buckets[i] = hlist.NewExpeditedFrom(c, dom)
@@ -262,7 +266,8 @@ type NBR struct {
 // NewNBR creates an NBR-protected map with n buckets.
 func NewNBR(n int, opts ...nbr.Option) *NBR {
 	dom := nbr.NewDomain(nil, opts...)
-	cores, pool := newCores(n)
+	cores, pool := newCores(n, dom.AllocMode())
+	dom.BindPool(pool)
 	m := &NBR{dom: dom, pool: pool, buckets: make([]*hlist.NBR, n)}
 	for i, c := range cores {
 		m.buckets[i] = hlist.NewNBRFrom(c, dom)
@@ -328,11 +333,14 @@ type VBR struct {
 	buckets []*vbr.List
 }
 
-// NewVBR creates a VBR-protected map with n buckets.
-func NewVBR(n int) *VBR {
-	pool := alloc.NewPool[lnode.Node]()
+// NewVBR creates a VBR-protected map with n buckets. The optional mode
+// selects the pool's reclamation granularity; VBR installs no segment
+// grace source (its version checks already reject stale references).
+func NewVBR(n int, mode ...alloc.Mode) *VBR {
+	pool := alloc.NewPool[lnode.Node](mode...)
 	cache := pool.NewCache()
 	rec := &stats.Reclamation{}
+	pool.SetRecorder(rec)
 	m := &VBR{rec: rec, pool: pool, buckets: make([]*vbr.List, n)}
 	for i := range m.buckets {
 		m.buckets[i] = vbr.NewShared(pool, cache, rec)

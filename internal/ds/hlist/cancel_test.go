@@ -74,7 +74,7 @@ func TestTraverseCtxCancelMidTraversalRollsBack(t *testing.T) {
 		return origStep(c)
 	}
 
-	_, _, ok, err := core.TraverseCtx(ctx, h.h, h.getProt, h.getBackup, trav)
+	_, _, ok, err := core.TraverseCtx(ctx, h.h, &h.getBuf, h.getProt, h.getBackup, trav)
 	if ok {
 		t.Fatal("cancelled traversal reported ok")
 	}

@@ -23,12 +23,16 @@ type Expedited struct {
 
 // NewHPRCU creates a list protected by HP-RCU (§3).
 func NewHPRCU(cfg core.Config) *Expedited {
-	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendRCU, cfg)}
+	l := &Expedited{List: lnode.New(cfg.Allocator), dom: core.NewDomain(core.BackendRCU, cfg)}
+	l.dom.BindPool(l.List.Pool)
+	return l
 }
 
 // NewHPBRCU creates a list protected by HP-BRCU (§4).
 func NewHPBRCU(cfg core.Config) *Expedited {
-	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	l := &Expedited{List: lnode.New(cfg.Allocator), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	l.dom.BindPool(l.List.Pool)
+	return l
 }
 
 // NewExpeditedFrom wraps an existing list core and domain (shared buckets).
@@ -96,6 +100,11 @@ type ExpeditedHandle struct {
 	maskRunS           *hp.Shield
 	maskEndS           *hp.Shield
 	run                runBuf
+
+	// Handle-owned cursor storage for the Traverse engine, one buffer per
+	// cursor type, so traversals never heap-allocate their cursors.
+	searchBuf core.CursorBuf[cursor]
+	getBuf    core.CursorBuf[getCursor]
 }
 
 // Register creates a thread handle.
@@ -178,7 +187,7 @@ func (h *ExpeditedHandle) search(key int64) (cursor, bool, bool) {
 			return core.StepContinue, false
 		},
 	}
-	return core.Traverse(h.h, h.prot, h.backup, t)
+	return core.Traverse(h.h, &h.searchBuf, h.prot, h.backup, t)
 }
 
 // Get returns the value mapped to key (full Harris search, helps excise).
@@ -232,7 +241,7 @@ func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
 	l := h.l.List
 	t := h.getTraversal(key)
 	for attempt := 0; ; attempt++ {
-		c, found, ok := core.Traverse(h.h, h.getProt, h.getBackup, t)
+		c, found, ok := core.Traverse(h.h, &h.getBuf, h.getProt, h.getBackup, t)
 		if !ok {
 			if attempt > 0 {
 				runtime.Gosched()
@@ -254,7 +263,7 @@ func (h *ExpeditedHandle) GetCtx(ctx context.Context, key int64) (int64, bool, e
 	l := h.l.List
 	t := h.getTraversal(key)
 	for attempt := 0; ; attempt++ {
-		c, found, ok, err := core.TraverseCtx(ctx, h.h, h.getProt, h.getBackup, t)
+		c, found, ok, err := core.TraverseCtx(ctx, h.h, &h.getBuf, h.getProt, h.getBackup, t)
 		if err != nil {
 			return 0, false, err
 		}

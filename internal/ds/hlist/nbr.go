@@ -23,12 +23,15 @@ type NBR struct {
 
 // NewNBR creates an NBR-protected list (batch 128).
 func NewNBR(opts ...nbr.Option) *NBR {
-	return &NBR{List: lnode.New(), dom: nbr.NewDomain(nil, opts...)}
+	dom := nbr.NewDomain(nil, opts...)
+	l := &NBR{List: lnode.New(dom.AllocMode()), dom: dom}
+	dom.BindPool(l.List.Pool)
+	return l
 }
 
 // NewNBRLarge creates the paper's NBR-Large configuration (batch 8192).
 func NewNBRLarge() *NBR {
-	return &NBR{List: lnode.New(), dom: nbr.NewDomain(nil, nbr.WithBatchSize(nbr.LargeBatchSize))}
+	return NewNBR(nbr.WithBatchSize(nbr.LargeBatchSize))
 }
 
 // NewNBRFrom wraps an existing list core and domain (shared buckets).

@@ -19,12 +19,16 @@ type EBR struct {
 
 // NewEBR creates a list reclaimed by epoch-based RCU.
 func NewEBR(opts ...ebr.Option) *EBR {
-	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, opts...)}
+	dom := ebr.NewDomain(nil, opts...)
+	l := &EBR{List: lnode.New(dom.AllocMode()), dom: dom}
+	dom.BindPool(l.List.Pool)
+	return l
 }
 
-// NewNR creates the no-reclamation baseline: retired nodes leak.
-func NewNR() *EBR {
-	return &EBR{List: lnode.New(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+// NewNR creates the no-reclamation baseline: retired nodes leak. Options
+// (e.g. ebr.WithAllocator) are applied on top of ebr.NoReclaim.
+func NewNR(opts ...ebr.Option) *EBR {
+	return NewEBR(append([]ebr.Option{ebr.NoReclaim()}, opts...)...)
 }
 
 // Stats exposes reclamation statistics.

@@ -23,12 +23,16 @@ type Expedited struct {
 
 // NewHPRCU creates a list protected by HP-RCU (§3).
 func NewHPRCU(cfg core.Config) *Expedited {
-	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendRCU, cfg)}
+	l := &Expedited{List: lnode.New(cfg.Allocator), dom: core.NewDomain(core.BackendRCU, cfg)}
+	l.dom.BindPool(l.List.Pool)
+	return l
 }
 
 // NewHPBRCU creates a list protected by HP-BRCU (§4).
 func NewHPBRCU(cfg core.Config) *Expedited {
-	return &Expedited{List: lnode.New(), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	l := &Expedited{List: lnode.New(cfg.Allocator), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	l.dom.BindPool(l.List.Pool)
+	return l
 }
 
 // Stats exposes reclamation statistics.
@@ -75,6 +79,10 @@ type ExpeditedHandle struct {
 
 	prot, backup        *protector
 	maskPrevS, maskCurS *hp.Shield
+
+	// Handle-owned cursor storage for the Traverse engine, so traversals
+	// never heap-allocate their cursors.
+	searchBuf core.CursorBuf[cursor]
 }
 
 // Register creates a thread handle.
@@ -164,7 +172,7 @@ func (h *ExpeditedHandle) search(key int64) (cursor, bool, bool) {
 			return core.StepContinue, false
 		},
 	}
-	c, found, ok := core.Traverse(h.h, h.prot, h.backup, t)
+	c, found, ok := core.Traverse(h.h, &h.searchBuf, h.prot, h.backup, t)
 	return c, found, ok
 }
 

@@ -21,7 +21,10 @@ type HP struct {
 
 // NewHP creates a hazard-pointer-protected list.
 func NewHP(opts ...hp.Option) *HP {
-	return &HP{List: lnode.New(), dom: hp.NewDomain(nil, opts...)}
+	dom := hp.NewDomain(nil, opts...)
+	l := &HP{List: lnode.New(dom.AllocMode()), dom: dom}
+	dom.BindPool(l.List.Pool)
+	return l
 }
 
 // NewHPFrom wraps an existing list core and domain (shared buckets).

@@ -36,9 +36,10 @@ type List struct {
 	Head uint64 // slot of the sentinel; never retired
 }
 
-// New creates an empty list with its own pool.
-func New() *List {
-	pool := alloc.NewPool[Node]()
+// New creates an empty list with its own pool. The optional mode selects
+// the pool's reclamation granularity (alloc.ModePool when omitted).
+func New(mode ...alloc.Mode) *List {
+	pool := alloc.NewPool[Node](mode...)
 	cache := pool.NewCache()
 	slot, n := pool.Alloc(cache)
 	n.Key.Store(MinKey)

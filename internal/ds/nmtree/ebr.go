@@ -16,12 +16,16 @@ type EBR struct {
 
 // NewEBR creates a tree reclaimed by epoch-based RCU.
 func NewEBR(opts ...ebr.Option) *EBR {
-	return &EBR{t: newTree(), dom: ebr.NewDomain(nil, opts...)}
+	dom := ebr.NewDomain(nil, opts...)
+	e := &EBR{t: newTree(dom.AllocMode()), dom: dom}
+	dom.BindPool(e.t.pool)
+	return e
 }
 
-// NewNR creates the no-reclamation baseline.
-func NewNR() *EBR {
-	return &EBR{t: newTree(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+// NewNR creates the no-reclamation baseline. Options (e.g.
+// ebr.WithAllocator) are applied on top of ebr.NoReclaim.
+func NewNR(opts ...ebr.Option) *EBR {
+	return NewEBR(append([]ebr.Option{ebr.NoReclaim()}, opts...)...)
 }
 
 // Stats exposes reclamation statistics.

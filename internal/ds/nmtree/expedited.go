@@ -29,12 +29,16 @@ type Expedited struct {
 
 // NewHPRCU creates a tree protected by HP-RCU (§3).
 func NewHPRCU(cfg core.Config) *Expedited {
-	return &Expedited{t: newTree(), dom: core.NewDomain(core.BackendRCU, cfg)}
+	e := &Expedited{t: newTree(cfg.Allocator), dom: core.NewDomain(core.BackendRCU, cfg)}
+	e.dom.BindPool(e.t.pool)
+	return e
 }
 
 // NewHPBRCU creates a tree protected by HP-BRCU (§4).
 func NewHPBRCU(cfg core.Config) *Expedited {
-	return &Expedited{t: newTree(), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	e := &Expedited{t: newTree(cfg.Allocator), dom: core.NewDomain(core.BackendBRCU, cfg)}
+	e.dom.BindPool(e.t.pool)
+	return e
 }
 
 // Stats exposes reclamation statistics.
@@ -83,6 +87,10 @@ type ExpeditedHandle struct {
 	cache *alloc.Cache[node]
 
 	prot, backup *treeProtector
+
+	// Handle-owned cursor storage for the Traverse engine, so descents
+	// never heap-allocate their cursors.
+	seekBuf core.CursorBuf[seekCursor]
 }
 
 // Register creates a thread handle.
@@ -133,7 +141,7 @@ func (h *ExpeditedHandle) seek(key int64) seekRecord {
 		},
 	}
 	for attempt := 0; ; attempt++ {
-		c, _, ok := core.Traverse(h.h, h.prot, h.backup, tr)
+		c, _, ok := core.Traverse(h.h, &h.seekBuf, h.prot, h.backup, tr)
 		if ok {
 			return c.sr
 		}

@@ -21,12 +21,15 @@ type NBR struct {
 
 // NewNBR creates an NBR-protected tree.
 func NewNBR(opts ...nbr.Option) *NBR {
-	return &NBR{t: newTree(), dom: nbr.NewDomain(nil, opts...)}
+	dom := nbr.NewDomain(nil, opts...)
+	e := &NBR{t: newTree(dom.AllocMode()), dom: dom}
+	dom.BindPool(e.t.pool)
+	return e
 }
 
 // NewNBRLarge creates the paper's NBR-Large configuration (batch 8192).
 func NewNBRLarge() *NBR {
-	return &NBR{t: newTree(), dom: nbr.NewDomain(nil, nbr.WithBatchSize(nbr.LargeBatchSize))}
+	return NewNBR(nbr.WithBatchSize(nbr.LargeBatchSize))
 }
 
 // Stats exposes reclamation statistics.

@@ -62,8 +62,8 @@ type tree struct {
 	sroot uint64 // S = R.left: immortal
 }
 
-func newTree() *tree {
-	pool := alloc.NewPool[node]()
+func newTree(mode ...alloc.Mode) *tree {
+	pool := alloc.NewPool[node](mode...)
 	cache := pool.NewCache()
 	mk := func(key int64) (uint64, *node) {
 		s, n := pool.Alloc(cache)

@@ -17,12 +17,16 @@ type EBR struct {
 
 // NewEBR creates a skip list reclaimed by epoch-based RCU.
 func NewEBR(opts ...ebr.Option) *EBR {
-	return &EBR{l: newList(), dom: ebr.NewDomain(nil, opts...)}
+	dom := ebr.NewDomain(nil, opts...)
+	s := &EBR{l: newList(dom.AllocMode()), dom: dom}
+	dom.BindPool(s.l.pool)
+	return s
 }
 
-// NewNR creates the no-reclamation baseline.
-func NewNR() *EBR {
-	return &EBR{l: newList(), dom: ebr.NewDomain(nil, ebr.NoReclaim())}
+// NewNR creates the no-reclamation baseline. Options (e.g.
+// ebr.WithAllocator) are applied on top of ebr.NoReclaim.
+func NewNR(opts ...ebr.Option) *EBR {
+	return NewEBR(append([]ebr.Option{ebr.NoReclaim()}, opts...)...)
 }
 
 // Stats exposes reclamation statistics.

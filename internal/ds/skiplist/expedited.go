@@ -37,12 +37,16 @@ func skipCfg(cfg core.Config) core.Config {
 
 // NewHPRCU creates a skip list protected by HP-RCU (§3).
 func NewHPRCU(cfg core.Config) *Expedited {
-	return &Expedited{l: newList(), dom: core.NewDomain(core.BackendRCU, skipCfg(cfg))}
+	s := &Expedited{l: newList(cfg.Allocator), dom: core.NewDomain(core.BackendRCU, skipCfg(cfg))}
+	s.dom.BindPool(s.l.pool)
+	return s
 }
 
 // NewHPBRCU creates a skip list protected by HP-BRCU (§4).
 func NewHPBRCU(cfg core.Config) *Expedited {
-	return &Expedited{l: newList(), dom: core.NewDomain(core.BackendBRCU, skipCfg(cfg))}
+	s := &Expedited{l: newList(cfg.Allocator), dom: core.NewDomain(core.BackendBRCU, skipCfg(cfg))}
+	s.dom.BindPool(s.l.pool)
+	return s
 }
 
 // Stats exposes reclamation statistics.
@@ -138,6 +142,11 @@ type ExpeditedHandle struct {
 	getProt, getBackup           *getProtector
 	maskPredS, maskCurS, maskNxS *hp.Shield
 	nodeS                        *hp.Shield
+
+	// Handle-owned cursor storage for the Traverse engine, one buffer per
+	// cursor type, so traversals never heap-allocate their (large) cursors.
+	searchBuf core.CursorBuf[cursor]
+	getBuf    core.CursorBuf[getCursor]
 }
 
 // Register creates a thread handle.
@@ -257,7 +266,7 @@ func (h *ExpeditedHandle) search(key int64, target atomicx.Ref) (cursor, bool, b
 			return core.StepContinue, false
 		},
 	}
-	c, found, ok := core.Traverse(h.h, h.prot, h.backup, t)
+	c, found, ok := core.Traverse(h.h, &h.searchBuf, h.prot, h.backup, t)
 	return c, found, ok
 }
 
@@ -329,7 +338,7 @@ func (h *ExpeditedHandle) GetOptimistic(key int64) (int64, bool) {
 		},
 	}
 	for attempt := 0; ; attempt++ {
-		c, found, ok := core.Traverse(h.h, h.getProt, h.getBackup, t)
+		c, found, ok := core.Traverse(h.h, &h.getBuf, h.getProt, h.getBackup, t)
 		if !ok {
 			if attempt > 0 {
 				runtime.Gosched()

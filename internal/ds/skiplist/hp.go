@@ -21,7 +21,10 @@ type HP struct {
 
 // NewHP creates a hazard-pointer-protected skip list.
 func NewHP(opts ...hp.Option) *HP {
-	return &HP{l: newList(), dom: hp.NewDomain(nil, opts...)}
+	dom := hp.NewDomain(nil, opts...)
+	s := &HP{l: newList(dom.AllocMode()), dom: dom}
+	dom.BindPool(s.l.pool)
+	return s
 }
 
 // Stats exposes reclamation statistics.

@@ -54,8 +54,8 @@ type list struct {
 	head uint64 // full-height immortal sentinel
 }
 
-func newList() *list {
-	pool := alloc.NewPool[node]()
+func newList(mode ...alloc.Mode) *list {
+	pool := alloc.NewPool[node](mode...)
 	cache := pool.NewCache()
 	slot, n := pool.Alloc(cache)
 	n.Key.Store(minKey)

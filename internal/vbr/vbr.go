@@ -78,10 +78,15 @@ type List struct {
 	reuses atomic.Uint64
 }
 
-// New creates an empty VBR list.
-func New() *List {
-	pool := alloc.NewPool[lnode.Node]()
-	return NewShared(pool, pool.NewCache(), &stats.Reclamation{})
+// New creates an empty VBR list. The optional mode selects the pool's
+// reclamation granularity (alloc.ModePool when omitted); VBR installs no
+// segment grace source — its version checks already reject every stale
+// reference, so completed segments recycle immediately.
+func New(mode ...alloc.Mode) *List {
+	pool := alloc.NewPool[lnode.Node](mode...)
+	rec := &stats.Reclamation{}
+	pool.SetRecorder(rec)
+	return NewShared(pool, pool.NewCache(), rec)
 }
 
 // NewShared creates a list over an existing pool (hash-map buckets share

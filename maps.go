@@ -115,18 +115,18 @@ type optimisticAsGet struct{ optimisticHandle }
 func (h optimisticAsGet) Get(key int64) (int64, bool) { return h.GetOptimistic(key) }
 
 func (c Config) ebrOpts() []ebr.Option {
-	return []ebr.Option{ebr.WithBatchSize(c.BatchSize)}
+	return []ebr.Option{ebr.WithBatchSize(c.BatchSize), ebr.WithAllocator(c.Allocator.mode())}
 }
 
 func (c Config) hpOpts() []hp.Option {
-	return []hp.Option{hp.WithScanThreshold(c.BatchSize)}
+	return []hp.Option{hp.WithScanThreshold(c.BatchSize), hp.WithAllocator(c.Allocator.mode())}
 }
 
 func (c Config) nbrOpts(large bool) []nbr.Option {
 	if large {
-		return []nbr.Option{nbr.WithBatchSize(nbr.LargeBatchSize)}
+		return []nbr.Option{nbr.WithBatchSize(nbr.LargeBatchSize), nbr.WithAllocator(c.Allocator.mode())}
 	}
-	return []nbr.Option{nbr.WithBatchSize(c.BatchSize)}
+	return []nbr.Option{nbr.WithBatchSize(c.BatchSize), nbr.WithAllocator(c.Allocator.mode())}
 }
 
 // NewHList creates Harris's linked list [Harris 2001] (optimistic
@@ -157,7 +157,7 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 	}
 	switch s {
 	case NR:
-		l := hlist.NewNR()
+		l := hlist.NewNR(cfg.ebrOpts()...)
 		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := hlist.NewEBR(cfg.ebrOpts()...)
@@ -172,7 +172,7 @@ func newHarrisList(s Scheme, cfg Config, optimisticGet bool) (Map, error) {
 		l := hlist.NewHPBRCU(cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withDomain(l.Domain(), cfg), nil
 	case VBR:
-		l := vbr.New()
+		l := vbr.New(cfg.Allocator.mode())
 		return (&mapImpl{scheme: s, reg: wrap(func() optimisticHandle { return l.Register() }), st: l.Stats}).withPool(cfg), nil
 	}
 	name := "HList"
@@ -191,7 +191,7 @@ func NewHMList(s Scheme, cfg Config) (Map, error) {
 	}
 	switch s {
 	case NR:
-		l := hmlist.NewNR()
+		l := hmlist.NewNR(cfg.ebrOpts()...)
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := hmlist.NewEBR(cfg.ebrOpts()...)
@@ -224,7 +224,7 @@ func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 	}
 	switch s {
 	case NR:
-		m := hashmap.NewNR(buckets)
+		m := hashmap.NewNR(buckets, cfg.ebrOpts()...)
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	case RCU:
 		m := hashmap.NewEBR(buckets, cfg.ebrOpts()...)
@@ -242,7 +242,7 @@ func NewHashMap(s Scheme, buckets int, cfg Config) (Map, error) {
 		m := hashmap.NewHPBRCU(buckets, cfg.CoreConfig())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withDomain(m.Domain(), cfg), nil
 	case VBR:
-		m := hashmap.NewVBR(buckets)
+		m := hashmap.NewVBR(buckets, cfg.Allocator.mode())
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return m.Register() }, st: m.Stats}).withPool(cfg), nil
 	}
 	return nil, &ErrUnsupported{Structure: "HashMap", Scheme: s}
@@ -261,7 +261,7 @@ func NewSkipList(s Scheme, cfg Config) (Map, error) {
 	}
 	switch s {
 	case NR:
-		l := skiplist.NewNR()
+		l := skiplist.NewNR(cfg.ebrOpts()...)
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return optimisticAsGet{l.Register()} }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := skiplist.NewEBR(cfg.ebrOpts()...)
@@ -288,7 +288,7 @@ func NewNMTree(s Scheme, cfg Config) (Map, error) {
 	}
 	switch s {
 	case NR:
-		l := nmtree.NewNR()
+		l := nmtree.NewNR(cfg.ebrOpts()...)
 		return (&mapImpl{scheme: s, reg: func() MapHandle { return l.Register() }, st: l.Stats}).withPool(cfg), nil
 	case RCU:
 		l := nmtree.NewEBR(cfg.ebrOpts()...)
